@@ -1,0 +1,112 @@
+// Command deadlock runs the full deadlock-freedom analysis of the library
+// on a routing algorithm: properties, channel dependency graph, cycle
+// decomposition into candidate Definition 6 configurations, Section 5
+// classification, and — for paper networks — optional exhaustive
+// verification with the state-space model checker.
+//
+// Examples:
+//
+//	deadlock -paper figure1 -verify
+//	deadlock -paper gen3 -verify -stall 3
+//	deadlock -topo uring -dims 4 -alg bfs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/mcheck"
+	"repro/internal/papernets"
+	"repro/internal/routing"
+)
+
+func main() {
+	var (
+		paper  = flag.String("paper", "", "paper network: figure1, figure2, figure3a..f, gen<k>")
+		topo   = flag.String("topo", "mesh", "topology (when -paper is empty)")
+		dims   = flag.String("dims", "4x4", "dimensions")
+		vcs    = flag.Int("vcs", 1, "virtual channels per link")
+		algf   = flag.String("alg", "dor", "routing algorithm")
+		verify = flag.Bool("verify", false, "verify the verdict with the exhaustive model checker (paper networks only)")
+		stall  = flag.Int("stall", 0, "adversarial stall budget for -verify (Section 6 clock-skew model)")
+	)
+	flag.Parse()
+
+	var alg routing.Algorithm
+	var pn *papernets.Net
+	if *paper != "" {
+		var err error
+		pn, err = cli.PaperNet(*paper)
+		if err != nil {
+			log.Fatal(err)
+		}
+		alg = pn.Alg
+	} else {
+		var err error
+		alg, _, err = cli.Build(*topo, *algf, *dims, *vcs)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	rep := core.Analyze(alg, core.Options{})
+	fmt.Printf("algorithm:  %s\n", rep.Algorithm)
+	fmt.Printf("properties: %s\n", rep.Properties)
+	fmt.Printf("CDG:        %d dependencies, acyclic=%v\n", rep.CDGEdges, rep.Acyclic)
+	if rep.Screen != "" {
+		fmt.Printf("screen:     %s (Corollaries 1-3)\n", rep.Screen)
+	}
+	for i, cyc := range rep.Cycles {
+		fmt.Printf("cycle %d:    len %d, verdict %s, %d configuration(s)\n", i+1, len(cyc.Cycle), cyc.Verdict, len(cyc.Configs))
+		for j, cfg := range cyc.Configs {
+			fmt.Printf("  config %d: %s — %s\n", j+1, cfg.Verdict, cfg.Reason)
+			for _, m := range cfg.Config.Members {
+				fmt.Printf("    member %d -> %d: approach %d channels, arc %d channels\n",
+					m.Src, m.Dst, len(m.Approach), len(m.Arc))
+			}
+			if cfg.Witness != nil {
+				fmt.Printf("    witness: cs order %v, times %v\n", cfg.Witness.SharedOrder, cfg.Witness.Times)
+			}
+		}
+	}
+	fmt.Printf("verdict:    %s\n", rep.Verdict)
+	fmt.Printf("reason:     %s\n", rep.Reason)
+
+	if *verify {
+		if pn == nil {
+			log.Fatal("deadlock: -verify needs a -paper network (it defines the adversarial message set)")
+		}
+		res := mcheck.Search(pn.Scenario, mcheck.SearchOptions{
+			StallBudget:         *stall,
+			FreezeInTransitOnly: true,
+		})
+		fmt.Printf("verify:     model checker says %s over %d states (stall budget %d)\n",
+			res.Verdict, res.States, *stall)
+		if res.Verdict == mcheck.VerdictDeadlock {
+			fmt.Printf("            deadlock cycle: %s\n", res.Deadlock)
+			fmt.Println("            witness schedule:")
+			for cyc, d := range res.Trace {
+				if len(d.Activate) == 0 && len(d.Freeze) == 0 && len(d.Picks) == 0 && len(d.Masks) == 0 {
+					continue
+				}
+				fmt.Printf("              cycle %2d:", cyc)
+				if len(d.Activate) > 0 {
+					fmt.Printf(" inject %v", d.Activate)
+				}
+				if len(d.Freeze) > 0 {
+					fmt.Printf(" stall %v", d.Freeze)
+				}
+				for ch, id := range d.Picks {
+					fmt.Printf(" grant c%d to m%d", ch, id)
+				}
+				for id, ch := range d.Masks {
+					fmt.Printf(" m%d selects c%d", id, ch)
+				}
+				fmt.Println()
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// adaptiveescape demonstrates the adaptive-routing context the paper's
+// conclusion points to: fully adaptive minimal routing with one virtual
+// channel deadlocks under bursty traffic, while Duato's escape-channel
+// protocol — whose candidate structure is cyclic, like the paper's
+// oblivious example — survives the very same loads.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/adaptive"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/waitfor"
+)
+
+// burst loads the network with a random message burst routed by alg.
+func burst(net *topology.Network, alg adaptive.Algorithm, seed int64) *sim.Sim {
+	rng := rand.New(rand.NewSource(seed))
+	s := sim.New(net, sim.Config{})
+	n := net.NumNodes()
+	for i := 0; i < 60; i++ {
+		src := topology.NodeID(rng.Intn(n))
+		dst := topology.NodeID(rng.Intn(n))
+		if src == dst {
+			continue
+		}
+		s.MustAdd(alg.Spec(src, dst, 4+rng.Intn(8), rng.Intn(20)))
+	}
+	return s
+}
+
+func main() {
+	fmt.Println("4x4 mesh, 60-message bursts, 4-11 flit messages")
+	fmt.Println()
+
+	naiveGrid := topology.NewMesh([]int{4, 4}, 1)
+	naive := adaptive.FullyAdaptiveMinimal(naiveGrid)
+	duatoGrid := topology.NewMesh([]int{4, 4}, 2)
+	duato := adaptive.DuatoMesh(duatoGrid)
+	wfGrid := topology.NewMesh([]int{4, 4}, 1)
+	wf := adaptive.WestFirst(wfGrid)
+
+	deadlocks := 0
+	var witness *sim.Sim
+	for seed := int64(0); seed < 20; seed++ {
+		s := burst(naiveGrid.Network, naive, seed)
+		if out := s.Run(200_000); out.Result == sim.ResultDeadlock {
+			deadlocks++
+			if witness == nil {
+				witness = s
+			}
+		}
+	}
+	fmt.Printf("fully adaptive minimal (1 VC): %d/20 bursts deadlock\n", deadlocks)
+	if witness != nil {
+		if d := waitfor.Find(witness); d != nil {
+			fmt.Printf("  example cycle: %s\n", d)
+		}
+	}
+
+	for name, pair := range map[string]struct {
+		net *topology.Network
+		alg adaptive.Algorithm
+	}{
+		"duato protocol (escape VC0)  ": {duatoGrid.Network, duato},
+		"west-first turn model (1 VC) ": {wfGrid.Network, wf},
+	} {
+		ok := 0
+		for seed := int64(0); seed < 20; seed++ {
+			if out := burst(pair.net, pair.alg, seed).Run(200_000); out.Result == sim.ResultDelivered {
+				ok++
+			}
+		}
+		fmt.Printf("%s: %d/20 bursts delivered\n", name, ok)
+	}
+
+	fmt.Println()
+	fmt.Println("the paper showed that for oblivious routing a cyclic dependency graph")
+	fmt.Println("does not imply deadlock; Duato's protocol is the adaptive analogue —")
+	fmt.Println("its candidate structure is cyclic, but the acyclic escape sub-network")
+	fmt.Println("keeps it deadlock-free.")
+}

@@ -1,0 +1,77 @@
+// customnet shows the full API round trip on a user-defined irregular
+// network: build a topology channel by channel, define an oblivious
+// routing table, run the static deadlock analysis, and — when it reports a
+// reachable deadlock — reproduce it in the simulator and print the
+// Definition 6 wait-for cycle.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/waitfor"
+)
+
+func main() {
+	// A 4-node unidirectional ring with an extra chord 0 -> 2.
+	net := topology.New("chordring")
+	for i := 0; i < 4; i++ {
+		net.AddNode(fmt.Sprintf("n%d", i))
+	}
+	var ring [4]topology.ChannelID
+	for i := 0; i < 4; i++ {
+		ring[i] = net.AddChannel(topology.NodeID(i), topology.NodeID((i+1)%4), 0,
+			fmt.Sprintf("cw%d", i))
+	}
+	chord := net.AddChannel(0, 2, 0, "chord")
+	if err := net.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// An oblivious routing table: clockwise shortest paths, except 0 -> 2
+	// uses the chord.
+	tab := routing.NewTable(net, "chordring-routing")
+	if err := tab.FillShortest(); err != nil {
+		log.Fatal(err)
+	}
+	tab.MustSetPath(0, 2, []topology.ChannelID{chord})
+
+	props := routing.CheckAll(tab)
+	fmt.Printf("routing properties: %s\n", props)
+
+	rep := core.Analyze(tab, core.Options{})
+	fmt.Printf("analysis: %s — %s\n", rep.Verdict, rep.Reason)
+	for i, cyc := range rep.Cycles {
+		fmt.Printf("  cycle %d: %d channels, %s\n", i+1, len(cyc.Cycle), cyc.Verdict)
+	}
+
+	if rep.Verdict != core.DeadlockCapable {
+		return
+	}
+	// Reproduce the deadlock concretely. The chord closes a three-channel
+	// cycle {chord, cw2, cw3}: 0->3 holds the chord waiting for cw2,
+	// 2->1 holds cw2 waiting for cw3, and 3->2 holds cw3 waiting for the
+	// chord.
+	s := sim.New(net, sim.Config{})
+	for _, pair := range [][2]topology.NodeID{{0, 3}, {2, 1}, {3, 2}} {
+		s.MustAdd(sim.MessageSpec{
+			Src: pair[0], Dst: pair[1], Length: 2,
+			Path:  tab.Path(pair[0], pair[1]),
+			Label: fmt.Sprintf("m%d->%d", pair[0], pair[1]),
+		})
+	}
+	out := s.Run(1000)
+	fmt.Printf("\nsimulating the three cycle messages simultaneously: %s after %d cycles\n",
+		out.Result, s.Now())
+	if d := waitfor.Find(s); d != nil {
+		fmt.Printf("Definition 6 configuration: %s\n", d)
+		if err := waitfor.Verify(s, d); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("configuration verified against the simulator state.")
+	}
+}

@@ -1,0 +1,62 @@
+// falsecycle walks through the paper's central example: the Figure 1
+// Cyclic Dependency routing algorithm, whose channel dependency graph
+// contains a cycle that can never become a deadlock — a false resource
+// cycle. The example shows the cycle, the four messages that would have to
+// form it, the exhaustive proof that they cannot, and the Section 6
+// observation that one cycle of router clock skew changes the answer.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cdg"
+	"repro/internal/core"
+	"repro/internal/mcheck"
+	"repro/internal/papernets"
+)
+
+func main() {
+	pn := papernets.Figure1()
+	fmt.Printf("== %s: %d nodes, %d channels ==\n\n",
+		pn.Name, pn.Network.NumNodes(), pn.Network.NumChannels())
+
+	// The four exceptional messages from Src.
+	fmt.Println("the four messages sharing cs = Src -> N*:")
+	for _, e := range pn.Entrants {
+		fmt.Printf("  %s: %d channels from Src to the cycle, then %d cycle channels to %s\n",
+			e.Label, e.D, e.C, pn.Network.Node(e.Dest))
+	}
+
+	// The dependency cycle.
+	g := cdg.New(pn.Alg)
+	cycles, _ := g.Cycles(1)
+	fmt.Printf("\nchannel dependency graph: %d dependencies, cycle of %d channels:\n  ",
+		g.NumEdges(), len(cycles[0]))
+	for i, c := range cycles[0] {
+		if i > 0 {
+			fmt.Print(" -> ")
+		}
+		fmt.Print(pn.Network.Channel(c))
+	}
+	fmt.Println()
+
+	// Exhaustive reachability: no schedule of injections and arbitration
+	// outcomes deadlocks.
+	res := mcheck.Search(pn.Scenario, mcheck.SearchOptions{})
+	fmt.Printf("\nexhaustive search over every injection timing and arbitration: %s (%d states)\n",
+		res.Verdict, res.States)
+
+	// The static analyzer derives the same verdict from the Section 5
+	// timing theory, without searching.
+	rep := core.Analyze(pn.Alg, core.Options{})
+	fmt.Printf("static analyzer: %s — %s\n", rep.Verdict, rep.Reason)
+
+	// Section 6: one stall cycle flips the verdict.
+	skew := mcheck.Search(pn.Scenario, mcheck.SearchOptions{StallBudget: 1, FreezeInTransitOnly: true})
+	fmt.Printf("\nwith one cycle of adversarial router skew: %s\n", skew.Verdict)
+	if skew.Deadlock != nil {
+		fmt.Printf("deadlock configuration: %s\n", skew.Deadlock)
+	}
+	fmt.Println("\nconclusion: a cycle in the channel dependency graph does not imply deadlock,")
+	fmt.Println("even for oblivious routing — Theorem 1 of the paper, verified exhaustively.")
+}

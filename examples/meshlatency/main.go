@@ -1,0 +1,58 @@
+// meshlatency compares two deadlock-free oblivious routing algorithms —
+// dimension-order (XY) and the negative-first turn model — on an 8x8 mesh
+// under increasing uniform and transpose load, printing a latency/
+// throughput table per offered rate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func main() {
+	grid := topology.NewMesh([]int{8, 8}, 1)
+	algs := []routing.Algorithm{
+		routing.DimensionOrder(grid),
+		routing.NegativeFirst(grid),
+	}
+	patterns := []struct {
+		name string
+		pat  traffic.Pattern
+	}{
+		{"uniform", traffic.Uniform(grid.NumNodes())},
+		{"transpose", traffic.Transpose(grid)},
+	}
+	rates := []float64{0.005, 0.01, 0.02, 0.04}
+
+	fmt.Println("8x8 mesh, 8-flit messages, 300-cycle injection window")
+	fmt.Printf("%-10s %-26s %-8s %-10s %-10s %-12s\n",
+		"pattern", "routing", "rate", "avg lat", "max lat", "flits/cycle")
+	for _, p := range patterns {
+		for _, alg := range algs {
+			for _, rate := range rates {
+				w := traffic.Workload{
+					Alg: alg, Pattern: p.pat, Rate: rate,
+					Length: 8, Duration: 300, Seed: 99,
+				}
+				stats, out, err := w.Run(sim.Config{}, 1_000_000)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if out.Result != sim.ResultDelivered {
+					fmt.Printf("%-10s %-26s %-8.3f %s\n", p.name, alg.Name(), rate, out.Result)
+					continue
+				}
+				fmt.Printf("%-10s %-26s %-8.3f %-10.1f %-10d %-12.3f\n",
+					p.name, alg.Name(), rate, stats.AvgLatency, stats.MaxLatency, stats.Throughput)
+			}
+		}
+	}
+	fmt.Println("\nboth algorithms are deadlock-free (acyclic CDGs, Dally-Seitz numbering);")
+	fmt.Println("they concentrate load differently, so their saturation points diverge as")
+	fmt.Println("the offered rate grows — compare the latency columns at the highest rate.")
+}

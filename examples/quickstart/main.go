@@ -1,0 +1,44 @@
+// Quickstart: build a network, pick a routing algorithm, check it for
+// deadlock freedom, and simulate a message through it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func main() {
+	// 1. A 4x4 mesh with one virtual channel per link.
+	grid := topology.NewMesh([]int{4, 4}, 1)
+	fmt.Printf("network: %s with %d nodes and %d channels\n",
+		grid.Name(), grid.NumNodes(), grid.NumChannels())
+
+	// 2. Dimension-order (XY) routing.
+	alg := routing.DimensionOrder(grid)
+
+	// 3. Static deadlock analysis: XY routing has an acyclic channel
+	// dependency graph, so it is deadlock-free with a numbering
+	// certificate.
+	report := core.Analyze(alg, core.Options{})
+	fmt.Printf("verdict: %s (%s)\n", report.Verdict, report.Reason)
+
+	// 4. Simulate one 8-flit message corner to corner.
+	src := grid.NodeAt([]int{0, 0})
+	dst := grid.NodeAt([]int{3, 3})
+	s := sim.New(grid.Network, sim.Config{})
+	id, err := s.Add(sim.MessageSpec{
+		Src: src, Dst: dst, Length: 8, Path: alg.Path(src, dst),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := s.Run(1000)
+	mv := s.Message(id)
+	fmt.Printf("simulated: %s after %d cycles; message latency %d cycles (6 hops + 8 flits - 1)\n",
+		out.Result, s.Now(), mv.DeliveredAt-mv.InjectedAt+1)
+}

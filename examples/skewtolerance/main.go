@@ -1,0 +1,45 @@
+// skewtolerance reproduces the paper's Section 6 experiment end to end:
+// for the generalized networks Gen(k), it measures — by exact state-space
+// search — the minimal number of adversarial router-stall cycles needed to
+// turn the false resource cycle into a real deadlock, and prints the
+// linear growth the paper proves.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/mcheck"
+	"repro/internal/papernets"
+)
+
+func main() {
+	maxK := flag.Int("maxk", 4, "largest k to measure")
+	flag.Parse()
+
+	fmt.Println("Gen(k): d1=d3=2, d2=d4=k+2, c_i=d_i+k, minimal message lengths")
+	fmt.Println()
+	fmt.Println("  k | states (budget k) | minimal stall for deadlock | paper bound")
+	for k := 1; k <= *maxK; k++ {
+		pn := papernets.GenK(k)
+		minimal := -1
+		states := 0
+		for b := 0; b <= k+2; b++ {
+			res := mcheck.Search(pn.Scenario, mcheck.SearchOptions{
+				StallBudget:         b,
+				FreezeInTransitOnly: true,
+				MaxStates:           50_000_000,
+			})
+			states = res.States
+			if res.Verdict == mcheck.VerdictDeadlock {
+				minimal = b
+				break
+			}
+		}
+		fmt.Printf("  %d | %17d | %26d | >= %d\n", k, states, minimal, k)
+	}
+	fmt.Println()
+	fmt.Println("the minimal stall grows linearly with k: the construction tolerates")
+	fmt.Println("arbitrary clock skew below k cycles, so the unreachable cycle does not")
+	fmt.Println("depend on tightly synchronous routers (Section 6).")
+}

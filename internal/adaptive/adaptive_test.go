@@ -1,0 +1,209 @@
+package adaptive
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// stress loads an algorithm with a random burst of messages and runs to
+// quiescence.
+func stress(t *testing.T, net *topology.Network, alg Algorithm, seed int64, msgs int) sim.Outcome {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	s := sim.New(net, sim.Config{})
+	n := net.NumNodes()
+	for i := 0; i < msgs; i++ {
+		src := topology.NodeID(rng.Intn(n))
+		dst := topology.NodeID(rng.Intn(n))
+		if src == dst {
+			continue
+		}
+		s.MustAdd(alg.Spec(src, dst, 4+rng.Intn(8), rng.Intn(20)))
+	}
+	out := s.Run(200_000)
+	if out.Result == sim.ResultTimeout {
+		t.Fatalf("seed %d: timeout", seed)
+	}
+	return out
+}
+
+func TestAdaptiveMessageDelivers(t *testing.T) {
+	g := topology.NewMesh([]int{4, 4}, 1)
+	alg := FullyAdaptiveMinimal(g)
+	s := sim.New(g.Network, sim.Config{})
+	src := g.NodeAt([]int{0, 0})
+	dst := g.NodeAt([]int{3, 3})
+	id := s.MustAdd(alg.Spec(src, dst, 5, 0))
+	out := s.Run(1000)
+	if out.Result != sim.ResultDelivered {
+		t.Fatalf("result = %v", out.Result)
+	}
+	mv := s.Message(id)
+	// The materialized path must be minimal (6 hops) and contiguous.
+	if len(mv.Path) != 6 {
+		t.Fatalf("path length = %d; want 6", len(mv.Path))
+	}
+	if !g.Network.IsPath(src, dst, mv.Path) {
+		t.Fatalf("materialized path not contiguous: %v", mv.Path)
+	}
+	// Latency = hops + flits - 1.
+	if lat := mv.DeliveredAt - mv.InjectedAt + 1; lat != 6+5-1+1 {
+		t.Fatalf("latency = %d", lat)
+	}
+}
+
+func TestAdaptiveDodgesBlockedChannel(t *testing.T) {
+	// A long oblivious message camps on one of the two minimal first hops;
+	// the adaptive message takes the other and is not delayed.
+	g := topology.NewMesh([]int{2, 2}, 1)
+	alg := FullyAdaptiveMinimal(g)
+	s := sim.New(g.Network, sim.Config{})
+	n00 := g.NodeAt([]int{0, 0})
+	n01 := g.NodeAt([]int{0, 1})
+	n11 := g.NodeAt([]int{1, 1})
+	right, _ := g.Link(n00, 1, 0, 0) // (0,0) -> (0,1)
+	blocker := s.MustAdd(sim.MessageSpec{
+		Src: n00, Dst: n01, Length: 50,
+		Path: []topology.ChannelID{right},
+	})
+	msg := s.MustAdd(alg.Spec(n00, n11, 2, 1))
+	out := s.Run(1000)
+	if out.Result != sim.ResultDelivered {
+		t.Fatalf("result = %v", out.Result)
+	}
+	mv := s.Message(msg)
+	if mv.Path[0] == right {
+		t.Fatal("adaptive message should have dodged the blocked channel")
+	}
+	if mv.DeliveredAt > 10 {
+		t.Fatalf("adaptive message was delayed until cycle %d", mv.DeliveredAt)
+	}
+	_ = blocker
+}
+
+// Fully adaptive minimal routing with one virtual channel deadlocks under
+// bursty load (the motivation for escape channels); seed 1 is a pinned
+// witness on the 4x4 mesh.
+func TestFullyAdaptiveMeshDeadlocks(t *testing.T) {
+	g := topology.NewMesh([]int{4, 4}, 1)
+	alg := FullyAdaptiveMinimal(g)
+	out := stress(t, g.Network, alg, 1, 60)
+	if out.Result != sim.ResultDeadlock {
+		t.Fatalf("pinned seed no longer deadlocks: %v", out.Result)
+	}
+	if len(out.Undelivered) == 0 {
+		t.Fatal("deadlock without undelivered messages")
+	}
+}
+
+// The same bursty loads never deadlock Duato's protocol (escape channels
+// on VC0) or the west-first turn model.
+func TestDuatoAndWestFirstSurviveStress(t *testing.T) {
+	duatoGrid := topology.NewMesh([]int{4, 4}, 2)
+	duato := DuatoMesh(duatoGrid)
+	wfGrid := topology.NewMesh([]int{4, 4}, 1)
+	wf := WestFirst(wfGrid)
+	seeds := 20
+	if testing.Short() {
+		seeds = 6
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		if out := stress(t, duatoGrid.Network, duato, seed, 60); out.Result != sim.ResultDelivered {
+			t.Fatalf("duato seed %d: %v", seed, out.Result)
+		}
+		if out := stress(t, wfGrid.Network, wf, seed, 60); out.Result != sim.ResultDelivered {
+			t.Fatalf("west-first seed %d: %v", seed, out.Result)
+		}
+	}
+}
+
+func TestWestFirstRoutesWestAlone(t *testing.T) {
+	g := topology.NewMesh([]int{3, 3}, 1)
+	alg := WestFirst(g)
+	at := g.NodeAt([]int{0, 2})
+	dst := g.NodeAt([]int{2, 0})
+	cands := alg.Route(at, topology.None, dst)
+	if len(cands) != 1 {
+		t.Fatalf("westward candidates = %v; want exactly the west hop", cands)
+	}
+	if c := g.Channel(cands[0]); g.Coords(c.Dst)[1] != 1 {
+		t.Fatalf("candidate goes to %v", g.Coords(c.Dst))
+	}
+	// After the west phase: adaptive among east/vertical.
+	at2 := g.NodeAt([]int{0, 0})
+	dst2 := g.NodeAt([]int{2, 2})
+	if cands := alg.Route(at2, topology.None, dst2); len(cands) != 2 {
+		t.Fatalf("adaptive candidates = %v; want 2", cands)
+	}
+}
+
+func TestDuatoAlwaysOffersEscape(t *testing.T) {
+	g := topology.NewMesh([]int{4, 4}, 2)
+	alg := DuatoMesh(g)
+	// From any node to any other, one candidate must be the VC0
+	// dimension-order hop.
+	for s := 0; s < g.NumNodes(); s++ {
+		for d := 0; d < g.NumNodes(); d++ {
+			if s == d {
+				continue
+			}
+			cands := alg.Route(topology.NodeID(s), topology.None, topology.NodeID(d))
+			if len(cands) == 0 {
+				t.Fatalf("no candidates %d -> %d", s, d)
+			}
+			hasEscape := false
+			for _, c := range cands {
+				if g.Channel(c).VC == 0 {
+					hasEscape = true
+				}
+			}
+			if !hasEscape {
+				t.Fatalf("no escape candidate %d -> %d: %v", s, d, cands)
+			}
+		}
+	}
+}
+
+func TestFullyAdaptiveTies(t *testing.T) {
+	// On a torus ring with an even radix, antipodal destinations admit
+	// both directions.
+	g := topology.NewTorus([]int{4}, 1)
+	alg := FullyAdaptiveMinimal(g)
+	cands := alg.Route(0, topology.None, 2)
+	if len(cands) != 2 {
+		t.Fatalf("antipodal candidates = %v; want both directions", cands)
+	}
+}
+
+func TestConstructorsValidate(t *testing.T) {
+	tor := topology.NewTorus([]int{4, 4}, 1)
+	for _, fn := range []func(){
+		func() { WestFirst(tor) },
+		func() { DuatoMesh(tor) },
+		func() { DuatoMesh(topology.NewMesh([]int{3, 3}, 1)) },
+		func() { WestFirst(topology.NewMesh([]int{3, 3, 3}, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAdaptiveSpecValidation(t *testing.T) {
+	g := topology.NewMesh([]int{3, 3}, 1)
+	alg := FullyAdaptiveMinimal(g)
+	s := sim.New(g.Network, sim.Config{})
+	spec := alg.Spec(0, 4, 3, 0)
+	spec.Path = []topology.ChannelID{0} // both route and path: invalid
+	if _, err := s.Add(spec); err == nil {
+		t.Fatal("spec with both Path and Route should be rejected")
+	}
+}

@@ -1,0 +1,95 @@
+package mcheck
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// twoBranch builds a diamond network and an adaptive message with two
+// branch choices, plus an oblivious message camping on one branch.
+func twoBranchScenario() (sim.Scenario, map[string]topology.ChannelID) {
+	net := topology.New("diamond")
+	a := net.AddNode("a")
+	b := net.AddNode("b")
+	c := net.AddNode("c")
+	d := net.AddNode("d")
+	ch := map[string]topology.ChannelID{
+		"ab": net.AddChannel(a, b, 0, "ab"),
+		"ac": net.AddChannel(a, c, 0, "ac"),
+		"bd": net.AddChannel(b, d, 0, "bd"),
+		"cd": net.AddChannel(c, d, 0, "cd"),
+		"da": net.AddChannel(d, a, 0, "da"),
+	}
+	route := func(at topology.NodeID, _ topology.ChannelID, dst topology.NodeID) []topology.ChannelID {
+		switch at {
+		case a:
+			return []topology.ChannelID{ch["ab"], ch["ac"]}
+		case b:
+			return []topology.ChannelID{ch["bd"]}
+		case c:
+			return []topology.ChannelID{ch["cd"]}
+		}
+		return nil
+	}
+	sc := sim.Scenario{
+		Name: "diamond",
+		Net:  net,
+		Msgs: []sim.MessageSpec{
+			{Src: a, Dst: d, Length: 2, Route: route},
+			// A second message whose only path is the b branch.
+			{Src: a, Dst: d, Length: 2, Path: []topology.ChannelID{ch["ab"], ch["bd"]}},
+		},
+	}
+	return sc, ch
+}
+
+func TestSearchExploresAdaptiveSelection(t *testing.T) {
+	// Neither interleaving deadlocks, but the search must consider both
+	// branch choices of the adaptive message: with masks disabled it would
+	// always take the lowest channel (ab) and never exercise ac.
+	sc, _ := twoBranchScenario()
+	res := Search(sc, SearchOptions{})
+	if res.Verdict != VerdictNoDeadlock {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	// The trace-free way to confirm selection is explored: the state count
+	// must exceed the mask-free single-choice run. A single-choice
+	// exploration of this scenario visits fewer distinct states because
+	// the ac branch is never materialized.
+	if res.States < 20 {
+		t.Fatalf("suspiciously few states: %d", res.States)
+	}
+}
+
+func TestMaskCombos(t *testing.T) {
+	sc, ch := twoBranchScenario()
+	s := sc.NewSim()
+	combos := maskCombos(s)
+	// Before injection, the adaptive message has two acquirable first
+	// hops: 2 mask combos.
+	if len(combos) != 2 {
+		t.Fatalf("combos = %d; want 2", len(combos))
+	}
+	seen := map[topology.ChannelID]bool{}
+	for _, m := range combos {
+		seen[m[0]] = true
+	}
+	if !seen[ch["ab"]] || !seen[ch["ac"]] {
+		t.Fatalf("mask targets = %v", seen)
+	}
+}
+
+func TestReplayWithMasks(t *testing.T) {
+	sc, ch := twoBranchScenario()
+	trace := []Decision{
+		{Activate: []int{0}, Masks: map[int]topology.ChannelID{0: ch["ac"]}},
+		{},
+	}
+	s := Replay(sc, trace)
+	mv := s.Message(0)
+	if len(mv.Path) == 0 || mv.Path[0] != ch["ac"] {
+		t.Fatalf("masked replay took %v; want the ac branch", mv.Path)
+	}
+}

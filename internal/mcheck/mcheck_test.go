@@ -1,0 +1,242 @@
+package mcheck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/waitfor"
+)
+
+// ringScenario: the canonical 4-node unidirectional ring with four two-hop
+// messages — deadlock reachable under simultaneous injection.
+func ringScenario(length int) sim.Scenario {
+	net := topology.NewRing(4, false)
+	sc := sim.Scenario{Name: "ring4", Net: net}
+	for i := 0; i < 4; i++ {
+		sc.Msgs = append(sc.Msgs, sim.MessageSpec{
+			Src: topology.NodeID(i), Dst: topology.NodeID((i + 2) % 4),
+			Length: length,
+			Path:   []topology.ChannelID{topology.ChannelID(i), topology.ChannelID((i + 1) % 4)},
+		})
+	}
+	return sc
+}
+
+// safeScenario: two messages on disjoint paths of a bidirectional ring —
+// no interaction, no deadlock possible.
+func safeScenario() sim.Scenario {
+	net := topology.NewRing(4, true)
+	cw01 := net.ChannelsBetween(0, 1)[0]
+	cw23 := net.ChannelsBetween(2, 3)[0]
+	return sim.Scenario{
+		Name: "safe",
+		Net:  net,
+		Msgs: []sim.MessageSpec{
+			{Src: 0, Dst: 1, Length: 2, Path: []topology.ChannelID{cw01}},
+			{Src: 2, Dst: 3, Length: 2, Path: []topology.ChannelID{cw23}},
+		},
+	}
+}
+
+func TestSearchFindsRingDeadlock(t *testing.T) {
+	res := Search(ringScenario(2), SearchOptions{})
+	if res.Verdict != VerdictDeadlock {
+		t.Fatalf("verdict = %v; want deadlock", res.Verdict)
+	}
+	if res.Deadlock == nil || len(res.Deadlock.Cycle) != 4 {
+		t.Fatalf("deadlock = %v", res.Deadlock)
+	}
+	// The witness trace must replay to a state containing the same
+	// deadlock configuration.
+	s := Replay(ringScenario(2), res.Trace)
+	if err := waitfor.Verify(s, res.Deadlock); err != nil {
+		t.Fatalf("replayed witness invalid: %v", err)
+	}
+}
+
+func TestSearchSafeScenarioNoDeadlock(t *testing.T) {
+	res := Search(safeScenario(), SearchOptions{})
+	if res.Verdict != VerdictNoDeadlock {
+		t.Fatalf("verdict = %v; want no-deadlock", res.Verdict)
+	}
+	if res.States < 2 {
+		t.Fatalf("states = %d; search did not explore", res.States)
+	}
+}
+
+func TestSearchSafeScenarioWithStallBudget(t *testing.T) {
+	// Stalls cannot create a deadlock when paths never share channels.
+	res := Search(safeScenario(), SearchOptions{StallBudget: 3})
+	if res.Verdict != VerdictNoDeadlock {
+		t.Fatalf("verdict = %v; want no-deadlock", res.Verdict)
+	}
+}
+
+func TestSearchExhaustion(t *testing.T) {
+	res := Search(ringScenario(2), SearchOptions{MaxStates: 2})
+	if res.Verdict != VerdictExhausted {
+		t.Fatalf("verdict = %v; want exhausted", res.Verdict)
+	}
+}
+
+func TestSearchSingleFlitRing(t *testing.T) {
+	// Single-flit messages still deadlock on the ring.
+	res := Search(ringScenario(1), SearchOptions{})
+	if res.Verdict != VerdictDeadlock {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+}
+
+func TestSearchHonorsPartialInjection(t *testing.T) {
+	// Only three of the four ring messages: a 3-member cycle cannot close
+	// on a 4-ring (message i+1's first channel is message i's second, so
+	// with one message absent some message's second channel stays free —
+	// its owner drains and the rest follow).
+	sc := ringScenario(2)
+	sc.Msgs = sc.Msgs[:3]
+	res := Search(sc, SearchOptions{})
+	if res.Verdict != VerdictNoDeadlock {
+		t.Fatalf("verdict = %v; want no-deadlock with three messages", res.Verdict)
+	}
+}
+
+func TestSweepFindsRingDeadlock(t *testing.T) {
+	res := Sweep(ringScenario(2), SweepOptions{Window: 2})
+	if res.Deadlocks == 0 || res.First == nil {
+		t.Fatalf("sweep found no deadlock: %+v", res)
+	}
+	if res.Runs != 16 { // 2^4 schedules x 1 arbiter
+		t.Fatalf("runs = %d; want 16", res.Runs)
+	}
+	if res.First.Deadlock == nil {
+		t.Fatal("witness missing Definition 6 cycle")
+	}
+	if !strings.Contains(res.First.String(), "inject=") {
+		t.Fatalf("witness String = %q", res.First.String())
+	}
+	// Replay the witness schedule directly.
+	run := ringScenario(2).WithInjectTimes(res.First.InjectTimes).WithLengths(res.First.Lengths)
+	out := run.NewSim().Run(10_000)
+	if out.Result != sim.ResultDeadlock {
+		t.Fatalf("witness schedule does not deadlock: %v", out.Result)
+	}
+}
+
+func TestSweepSafeScenario(t *testing.T) {
+	res := Sweep(safeScenario(), SweepOptions{Window: 3, Arbiters: AllPriorityArbiters(2)})
+	if res.Deadlocks != 0 {
+		t.Fatalf("safe scenario deadlocked: %+v", res.First)
+	}
+	if res.Runs != 9*2 {
+		t.Fatalf("runs = %d; want 18", res.Runs)
+	}
+}
+
+func TestSweepLengthBands(t *testing.T) {
+	sc := ringScenario(1)
+	res := Sweep(sc, SweepOptions{Window: 1, Lengths: [][]int{{1, 2}, {1, 2}}})
+	// 2 lengths for messages 0 and 1, 1 each for 2 and 3 => 4 runs.
+	if res.Runs != 4 {
+		t.Fatalf("runs = %d; want 4", res.Runs)
+	}
+	if res.Deadlocks != 4 {
+		t.Fatalf("deadlocks = %d; all simultaneous ring schedules deadlock", res.Deadlocks)
+	}
+}
+
+func TestAllPriorityArbiters(t *testing.T) {
+	if got := len(AllPriorityArbiters(3)); got != 6 {
+		t.Fatalf("3! = %d; want 6", got)
+	}
+	if got := len(AllPriorityArbiters(1)); got != 1 {
+		t.Fatalf("1! = %d; want 1", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n > 6")
+		}
+	}()
+	AllPriorityArbiters(7)
+}
+
+func TestSubsets(t *testing.T) {
+	subs := subsets([]int{1, 2})
+	if len(subs) != 4 {
+		t.Fatalf("subsets = %v", subs)
+	}
+	if len(subs[0]) != 0 {
+		t.Fatal("first subset should be empty")
+	}
+}
+
+func TestPickCombos(t *testing.T) {
+	cons := []sim.Contention{
+		{Channel: 1, Contenders: []int{0, 1}},
+		{Channel: 2, Contenders: []int{2, 3, 4}},
+	}
+	combos := pickCombos(cons)
+	if len(combos) != 6 {
+		t.Fatalf("combos = %d; want 6", len(combos))
+	}
+	seen := make(map[string]bool)
+	for _, c := range combos {
+		key := ""
+		for ch := topology.ChannelID(1); ch <= 2; ch++ {
+			key += string(rune('0' + c[ch]))
+		}
+		seen[key] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("combos not distinct: %v", seen)
+	}
+	empty := pickCombos(nil)
+	if len(empty) != 1 || empty[0] != nil {
+		t.Fatalf("empty combos = %v", empty)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if VerdictNoDeadlock.String() != "no-deadlock" ||
+		VerdictDeadlock.String() != "deadlock" ||
+		VerdictExhausted.String() != "exhausted" {
+		t.Fatal("verdict strings wrong")
+	}
+	if Verdict(9).String() == "" {
+		t.Fatal("unknown verdict should render")
+	}
+}
+
+func TestReplayEmptyTrace(t *testing.T) {
+	s := Replay(safeScenario(), nil)
+	if s.NumMessages() != 2 {
+		t.Fatal("replay should instantiate the scenario")
+	}
+	// All messages held at the root state.
+	if !s.Held(0) || !s.Held(1) {
+		t.Fatal("root state should hold every message")
+	}
+}
+
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	sc := ringScenario(2)
+	seq := Sweep(sc, SweepOptions{Window: 3})
+	par := Sweep(sc, SweepOptions{Window: 3, Parallelism: 4})
+	if seq.Runs != par.Runs || seq.Deadlocks != par.Deadlocks {
+		t.Fatalf("sequential %+v vs parallel %+v", seq, par)
+	}
+	if (seq.First == nil) != (par.First == nil) {
+		t.Fatal("witness presence differs")
+	}
+	if seq.First != nil {
+		for i := range seq.First.InjectTimes {
+			if seq.First.InjectTimes[i] != par.First.InjectTimes[i] {
+				t.Fatalf("first witness differs: %v vs %v", seq.First.InjectTimes, par.First.InjectTimes)
+			}
+		}
+		if seq.First.ArbiterIdx != par.First.ArbiterIdx {
+			t.Fatal("first witness arbiter differs")
+		}
+	}
+}

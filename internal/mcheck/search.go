@@ -1,0 +1,402 @@
+// Package mcheck decides deadlock reachability for finite wormhole-routing
+// scenarios by exhaustive search.
+//
+// Two complementary engines are provided:
+//
+//   - Search: an exact breadth-first state-space exploration of the
+//     simulator's transition system under full adversarial nondeterminism —
+//     sources may delay injection arbitrarily (assumption 1), every
+//     arbitration choice is enumerated (assumption 5), and an optional
+//     stall budget lets the adversary freeze moving messages (Section 6's
+//     relaxation of tight synchrony). For a fixed finite message set this
+//     is a complete decision procedure: VerdictNoDeadlock means no
+//     reachable state of the scenario contains a Definition 6 deadlock
+//     configuration.
+//
+//   - Sweep: a bounded sweep over concrete injection-time tuples, message
+//     lengths and arbitration policies. It is cheaper, produces
+//     human-readable witnesses (an actual schedule), and regenerates the
+//     paper's "inject M2 before M1..." style case analyses, but unlike
+//     Search it is only exhaustive over its stated bounds.
+//
+// A deadlock verdict always carries a witness: the decision trace (Search)
+// or schedule (Sweep) plus the Definition 6 cycle, and Replay re-executes
+// traces so tests can validate witnesses independently.
+package mcheck
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/waitfor"
+)
+
+// Verdict classifies a search outcome.
+type Verdict int
+
+const (
+	// VerdictNoDeadlock: the full reachable state space was explored and
+	// no Definition 6 deadlock configuration exists.
+	VerdictNoDeadlock Verdict = iota
+	// VerdictDeadlock: a reachable deadlock was found; see the witness.
+	VerdictDeadlock
+	// VerdictExhausted: the state or run budget was exceeded before the
+	// search completed; the result is inconclusive.
+	VerdictExhausted
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictNoDeadlock:
+		return "no-deadlock"
+	case VerdictDeadlock:
+		return "deadlock"
+	case VerdictExhausted:
+		return "exhausted"
+	}
+	return fmt.Sprintf("Verdict(%d)", int(v))
+}
+
+// Decision is one cycle's worth of adversarial choices in a Search trace.
+type Decision struct {
+	// Activate lists messages whose source begins injecting this cycle.
+	Activate []int
+	// Freeze lists in-flight messages stalled for this one cycle, each
+	// consuming one unit of the stall budget.
+	Freeze []int
+	// Masks restricts adaptive messages to a single candidate channel for
+	// this cycle (adaptive selection nondeterminism).
+	Masks map[int]topology.ChannelID
+	// Picks resolves each contested channel acquisition.
+	Picks map[topology.ChannelID]int
+}
+
+// SearchOptions bounds a Search.
+type SearchOptions struct {
+	// StallBudget is the total number of message-cycles the adversary may
+	// freeze otherwise-movable messages (0 = routers never stall, the
+	// paper's Section 3 model; > 0 = Section 6's clock-skew model).
+	StallBudget int
+	// MaxStates caps the number of distinct states explored. 0 means
+	// DefaultMaxStates.
+	MaxStates int
+	// FreezeInTransitOnly restricts adversarial stalls to messages whose
+	// header has not yet reached its destination channel. This models the
+	// paper's Section 6 clock-skew adversary, where routers may delay a
+	// message in transit but destination processors consume arriving
+	// flits promptly. Without it, stalls may also delay consumption
+	// (legal under assumption 2's "eventually consumed", but outside the
+	// paper's skew model).
+	FreezeInTransitOnly bool
+}
+
+// DefaultMaxStates bounds state exploration when SearchOptions.MaxStates
+// is zero.
+const DefaultMaxStates = 2_000_000
+
+// SearchResult reports the outcome of Search.
+type SearchResult struct {
+	Verdict Verdict
+	// States is the number of distinct states visited.
+	States int
+	// Trace, for VerdictDeadlock, is the per-cycle decision sequence from
+	// the empty network to the deadlocked state.
+	Trace []Decision
+	// Deadlock, for VerdictDeadlock, is the Definition 6 cycle in the
+	// final state.
+	Deadlock *waitfor.Deadlock
+}
+
+// node tracks BFS provenance for witness reconstruction.
+type node struct {
+	parent   string
+	decision Decision
+}
+
+// Search exhaustively explores every reachable state of the scenario under
+// adversarial injection timing, arbitration, and (optionally) stalling. The
+// scenario's InjectAt fields are ignored: injection timing is part of the
+// adversary's choice, which strictly generalizes any fixed schedule.
+func Search(sc sim.Scenario, opts SearchOptions) SearchResult {
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+
+	root := newHeldSim(sc)
+	rootKey := stateKey(root, opts.StallBudget)
+
+	// visited maps an encoding (without budget) to the best remaining
+	// budget seen: a state revisited with no more budget than before can
+	// reach nothing new.
+	visited := map[string]int{root.Encode(): opts.StallBudget}
+	// parents records provenance for every non-root state.
+	parents := make(map[string]node)
+
+	type qent struct {
+		s      *sim.Sim
+		budget int
+		key    string
+	}
+	queue := []qent{{s: root, budget: opts.StallBudget, key: rootKey}}
+	states := 1
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+
+		if cur.s.AllDelivered() {
+			continue
+		}
+		if deadlocked(cur.s) {
+			d := waitfor.Find(cur.s)
+			return SearchResult{
+				Verdict:  VerdictDeadlock,
+				States:   states,
+				Trace:    rebuildTrace(parents, cur.key),
+				Deadlock: d,
+			}
+		}
+
+		for _, dec := range decisions(cur.s, cur.budget, opts.FreezeInTransitOnly) {
+			next := cur.s.Clone()
+			apply(next, dec)
+			next.StepWithPicks(dec.Picks)
+			newBudget := cur.budget - len(dec.Freeze)
+			enc := next.Encode()
+			if best, ok := visited[enc]; ok && best >= newBudget {
+				continue
+			}
+			visited[enc] = newBudget
+			states++
+			if states > maxStates {
+				return SearchResult{Verdict: VerdictExhausted, States: states}
+			}
+			key := stateKey(next, newBudget)
+			parents[key] = node{parent: cur.key, decision: dec}
+			queue = append(queue, qent{s: next, budget: newBudget, key: key})
+		}
+	}
+	return SearchResult{Verdict: VerdictNoDeadlock, States: states}
+}
+
+// newHeldSim instantiates the scenario with every message held at its
+// source and ready (InjectAt normalized to 0 so state encodings are
+// time-invariant).
+func newHeldSim(sc sim.Scenario) *sim.Sim {
+	s := sim.New(sc.Net, sc.Cfg)
+	for _, m := range sc.Msgs {
+		m.InjectAt = 0
+		id := s.MustAdd(m)
+		s.SetHeld(id, true)
+	}
+	return s
+}
+
+func stateKey(s *sim.Sim, budget int) string {
+	return fmt.Sprintf("%s|b%d", s.Encode(), budget)
+}
+
+// deadlocked reports whether the state is a reachable deadlock: no flit can
+// ever move again among the active messages (held messages are the
+// adversary's to withhold forever) and some message is stuck in-network.
+// Movement possibility is arbitration-independent, so stepping a clone once
+// decides it exactly.
+func deadlocked(s *sim.Sim) bool {
+	inNetwork := false
+	for id := 0; id < s.NumMessages(); id++ {
+		mv := s.Message(id)
+		if !mv.Delivered && mv.InNetwork {
+			inNetwork = true
+			break
+		}
+	}
+	if !inNetwork {
+		return false
+	}
+	probe := s.Clone()
+	return !probe.Step().Moved
+}
+
+// decisions enumerates every adversarial choice available in the state:
+// all subsets of held messages to activate, all subsets of movable
+// in-flight messages to freeze (bounded by budget), and all arbitration
+// outcomes for the resulting contentions.
+func decisions(s *sim.Sim, budget int, inTransitOnly bool) []Decision {
+	var held []int
+	for id := 0; id < s.NumMessages(); id++ {
+		if s.Held(id) {
+			held = append(held, id)
+		}
+	}
+
+	var out []Decision
+	for _, act := range subsets(held) {
+		// Freezing depends on which messages can move after activation;
+		// activation only enables injections, which cannot disable any
+		// other message's movement, so compute movability on a clone with
+		// the activation applied.
+		probe := s.Clone()
+		for _, id := range act {
+			probe.SetHeld(id, false)
+		}
+		var movable []int
+		if budget > 0 {
+			for id := 0; id < probe.NumMessages(); id++ {
+				if !probe.CanAdvance(id) {
+					continue
+				}
+				if inTransitOnly {
+					mv := probe.Message(id)
+					lastQueued := len(mv.Queued) > 0 && mv.Queued[len(mv.Queued)-1] > 0
+					if mv.HeaderConsumed || lastQueued {
+						continue // already delivering: consumption may not stall
+					}
+				}
+				movable = append(movable, id)
+			}
+		}
+		for _, frz := range subsets(movable) {
+			if len(frz) > budget {
+				continue
+			}
+			probe2 := probe.Clone()
+			for _, id := range frz {
+				probe2.SetFrozen(id, 1)
+			}
+			// Adaptive selection nondeterminism: enumerate, for every
+			// adaptive message with several acquirable candidates, which
+			// one it requests this cycle.
+			for _, masks := range maskCombos(probe2) {
+				probe3 := probe2
+				if len(masks) > 0 {
+					probe3 = probe2.Clone()
+					for id, c := range masks {
+						probe3.SetMask(id, c)
+					}
+				}
+				cons := probe3.Contentions()
+				for _, picks := range pickCombos(cons) {
+					out = append(out, Decision{Activate: act, Freeze: frz, Masks: masks, Picks: picks})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// maskCombos enumerates the cartesian product of candidate selections for
+// every adaptive message that could acquire more than one channel this
+// cycle. It returns a single nil map when there is nothing to choose.
+func maskCombos(s *sim.Sim) []map[int]topology.ChannelID {
+	out := []map[int]topology.ChannelID{nil}
+	for id := 0; id < s.NumMessages(); id++ {
+		if !s.IsAdaptive(id) {
+			continue
+		}
+		cands := s.AcquirableCandidates(id)
+		if len(cands) < 2 {
+			continue
+		}
+		var next []map[int]topology.ChannelID
+		for _, c := range cands {
+			for _, base := range out {
+				m := make(map[int]topology.ChannelID, len(base)+1)
+				for k, v := range base {
+					m[k] = v
+				}
+				m[id] = c
+				next = append(next, m)
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// apply performs a decision's activations, freezes and masks on the
+// simulator.
+func apply(s *sim.Sim, d Decision) {
+	for _, id := range d.Activate {
+		s.SetHeld(id, false)
+	}
+	for _, id := range d.Freeze {
+		s.SetFrozen(id, 1)
+	}
+	for id, c := range d.Masks {
+		s.SetMask(id, c)
+	}
+}
+
+// subsets returns every subset of ids, the empty set first. The input must
+// be small; the paper's scenarios have at most a handful of messages.
+func subsets(ids []int) [][]int {
+	n := len(ids)
+	if n > 16 {
+		panic("mcheck: subset enumeration over more than 16 items")
+	}
+	out := make([][]int, 0, 1<<n)
+	for mask := 0; mask < 1<<n; mask++ {
+		var sub []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, ids[i])
+			}
+		}
+		out = append(out, sub)
+	}
+	return out
+}
+
+// pickCombos returns the cartesian product of contender choices across all
+// contested channels. With no contentions it returns a single nil map.
+func pickCombos(cons []sim.Contention) []map[topology.ChannelID]int {
+	out := []map[topology.ChannelID]int{nil}
+	for _, c := range cons {
+		var next []map[topology.ChannelID]int
+		for _, id := range c.Contenders {
+			for _, base := range out {
+				m := make(map[topology.ChannelID]int, len(base)+1)
+				for k, v := range base {
+					m[k] = v
+				}
+				m[c.Channel] = id
+				next = append(next, m)
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// rebuildTrace walks the BFS provenance chain back to the root (which has
+// no parents entry).
+func rebuildTrace(parents map[string]node, key string) []Decision {
+	var rev []Decision
+	for {
+		n, ok := parents[key]
+		if !ok {
+			break
+		}
+		rev = append(rev, n.decision)
+		key = n.parent
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Replay re-executes a Search trace on a fresh instance of the scenario and
+// returns the resulting simulator, so tests can independently verify that
+// the trace leads to the claimed deadlock.
+func Replay(sc sim.Scenario, trace []Decision) *sim.Sim {
+	s := newHeldSim(sc)
+	for _, dec := range trace {
+		apply(s, dec)
+		s.StepWithPicks(dec.Picks)
+	}
+	return s
+}

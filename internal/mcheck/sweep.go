@@ -1,0 +1,209 @@
+package mcheck
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/waitfor"
+)
+
+// SweepOptions bounds a schedule sweep.
+type SweepOptions struct {
+	// Window sweeps every message's injection time over [0, Window).
+	// Window must be >= 1; 1 means "all messages injected at cycle 0".
+	Window int
+	// Lengths optionally sweeps message lengths: Lengths[i] lists the
+	// candidate lengths for message i (nil or empty keeps the scenario's
+	// length). Messages beyond len(Lengths) keep their length.
+	Lengths [][]int
+	// Arbiters lists the arbitration policies to try per schedule. Nil
+	// uses the scenario's configured arbiter only.
+	Arbiters []sim.Arbiter
+	// MaxCycles bounds each simulation run. 0 means DefaultMaxCycles.
+	MaxCycles int
+	// Parallelism runs the sweep's independent simulations on a worker
+	// pool of this size. 0 or 1 runs sequentially; the result is
+	// deterministic either way (the first witness is the first in sweep
+	// order, not completion order).
+	Parallelism int
+}
+
+// DefaultMaxCycles bounds individual sweep runs.
+const DefaultMaxCycles = 100_000
+
+// SweepWitness is a concrete deadlocking schedule.
+type SweepWitness struct {
+	InjectTimes []int
+	Lengths     []int
+	ArbiterIdx  int
+	Deadlock    *waitfor.Deadlock
+	Cycles      int // cycle at which the network deadlocked
+}
+
+// String renders the witness schedule.
+func (w *SweepWitness) String() string {
+	return fmt.Sprintf("inject=%v lengths=%v arbiter#%d cycle=%d: %s",
+		w.InjectTimes, w.Lengths, w.ArbiterIdx, w.Cycles, w.Deadlock)
+}
+
+// SweepResult summarizes a sweep.
+type SweepResult struct {
+	Runs      int
+	Deadlocks int
+	// First is the first deadlocking schedule found, or nil.
+	First *SweepWitness
+}
+
+// Sweep simulates the scenario under every combination of injection times
+// (within the window), candidate message lengths, and arbitration policy,
+// and reports how many runs deadlock. Unlike Search it explores only the
+// enumerated schedules — arbitrary source delays beyond the window and
+// mid-flight stalls are out of scope — but each deadlock it finds comes
+// with a directly replayable concrete schedule, mirroring the paper's
+// injection-order case analyses.
+func Sweep(sc sim.Scenario, opts SweepOptions) SweepResult {
+	if opts.Window < 1 {
+		opts.Window = 1
+	}
+	maxCycles := opts.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = DefaultMaxCycles
+	}
+	arbiters := opts.Arbiters
+	if len(arbiters) == 0 {
+		arbiters = []sim.Arbiter{sc.Cfg.Arbiter}
+	}
+
+	n := len(sc.Msgs)
+	lengthChoices := make([][]int, n)
+	for i := range lengthChoices {
+		if i < len(opts.Lengths) && len(opts.Lengths[i]) > 0 {
+			lengthChoices[i] = opts.Lengths[i]
+		} else {
+			lengthChoices[i] = []int{sc.Msgs[i].Length}
+		}
+	}
+
+	// Enumerate the job list up front so execution can be sequential or
+	// parallel with identical (deterministic) results.
+	type job struct {
+		times, lengths []int
+		ai             int
+	}
+	var jobs []job
+	times := make([]int, n)
+	lengths := make([]int, n)
+	var sweepLengths func(i int)
+	var sweepTimes func(i int)
+	sweepTimes = func(i int) {
+		if i == n {
+			for ai := range arbiters {
+				jobs = append(jobs, job{
+					times:   append([]int(nil), times...),
+					lengths: append([]int(nil), lengths...),
+					ai:      ai,
+				})
+			}
+			return
+		}
+		for t := 0; t < opts.Window; t++ {
+			times[i] = t
+			sweepTimes(i + 1)
+		}
+	}
+	sweepLengths = func(i int) {
+		if i == n {
+			sweepTimes(0)
+			return
+		}
+		for _, l := range lengthChoices[i] {
+			lengths[i] = l
+			sweepLengths(i + 1)
+		}
+	}
+	sweepLengths(0)
+
+	runOne := func(j job) *SweepWitness {
+		run := sc.WithInjectTimes(j.times).WithLengths(j.lengths)
+		run.Cfg.Arbiter = arbiters[j.ai]
+		s := run.NewSim()
+		out := s.Run(maxCycles)
+		if out.Result != sim.ResultDeadlock {
+			return nil
+		}
+		return &SweepWitness{
+			InjectTimes: j.times,
+			Lengths:     j.lengths,
+			ArbiterIdx:  j.ai,
+			Deadlock:    waitfor.Find(s),
+			Cycles:      out.Cycles,
+		}
+	}
+
+	witnesses := make([]*SweepWitness, len(jobs))
+	workers := opts.Parallelism
+	if workers <= 1 {
+		for i, j := range jobs {
+			witnesses[i] = runOne(j)
+		}
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					witnesses[i] = runOne(jobs[i])
+				}
+			}()
+		}
+		for i := range jobs {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+
+	result := SweepResult{Runs: len(jobs)}
+	for _, w := range witnesses {
+		if w == nil {
+			continue
+		}
+		result.Deadlocks++
+		if result.First == nil {
+			result.First = w
+		}
+	}
+	return result
+}
+
+// AllPriorityArbiters returns one PriorityArbiter per permutation of the
+// message IDs 0..n-1, realizing every fixed tie-breaking order. For the
+// paper's four-message scenarios this is 24 policies; n above 6 panics to
+// prevent factorial blowups.
+func AllPriorityArbiters(n int) []sim.Arbiter {
+	if n > 6 {
+		panic("mcheck: refusing to enumerate more than 6! priority orders")
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	var out []sim.Arbiter
+	var permute func(k int)
+	permute = func(k int) {
+		if k == n {
+			out = append(out, sim.PriorityArbiter{Order: append([]int(nil), ids...)})
+			return
+		}
+		for i := k; i < n; i++ {
+			ids[k], ids[i] = ids[i], ids[k]
+			permute(k + 1)
+			ids[k], ids[i] = ids[i], ids[k]
+		}
+	}
+	permute(0)
+	return out
+}

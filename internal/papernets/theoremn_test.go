@@ -1,0 +1,68 @@
+package papernets
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mcheck"
+	"repro/internal/sim"
+	"repro/internal/unreachable"
+)
+
+func gt4(sc sim.Scenario) bool { // true = some deadlock reachable
+	if mcheck.Search(sc, mcheck.SearchOptions{MaxStates: 30_000_000}).Verdict == mcheck.VerdictDeadlock {
+		return true
+	}
+	for pos := range sc.Msgs {
+		out := sc
+		out.Msgs = append(append([]sim.MessageSpec(nil), sc.Msgs...), sc.Msgs[pos])
+		if mcheck.Search(out, mcheck.SearchOptions{MaxStates: 30_000_000}).Verdict == mcheck.VerdictDeadlock {
+			return true
+		}
+	}
+	return false
+}
+
+// TheoremN — the paper's proposed "four messages and beyond" extension —
+// agrees with exhaustive model checking (with interposed copies) across
+// four-entrant configurations: pure sharers, mixed private members, tied
+// and deep approach distances, and the blockable-member mechanism.
+func TestTheoremNMatchesGroundTruthOnFourEntrants(t *testing.T) {
+	mis, total := 0, 0
+	if testing.Short() {
+		t.Skip("multi-copy four-entrant searches are expensive")
+	}
+	cases := [][]Entrant{
+		// fig1 family
+		{{Shared: true, D: 2, C: 3}, {Shared: true, D: 3, C: 4}, {Shared: true, D: 2, C: 3}, {Shared: true, D: 3, C: 4}},
+		// blockable member (c < d)
+		{{Shared: true, D: 4, C: 3}, {Shared: true, D: 3, C: 4}, {Shared: true, D: 2, C: 3}, {Shared: true, D: 3, C: 4}},
+		// larger gaps
+		{{Shared: true, D: 2, C: 4}, {Shared: true, D: 4, C: 5}, {Shared: true, D: 2, C: 4}, {Shared: true, D: 4, C: 5}},
+		// overtake-prone: one deep approach
+		{{Shared: true, D: 7, C: 7}, {Shared: true, D: 3, C: 4}, {Shared: true, D: 2, C: 3}, {Shared: true, D: 3, C: 4}},
+		{{Shared: true, D: 9, C: 9}, {Shared: true, D: 3, C: 4}, {Shared: true, D: 2, C: 3}, {Shared: true, D: 3, C: 4}},
+		// mixed private
+		{{Shared: true, D: 2, C: 3}, {Shared: true, D: 3, C: 4}, {Shared: true, D: 2, C: 3}, {Shared: false, D: 2, C: 3}},
+		{{Shared: true, D: 2, C: 3}, {Shared: true, D: 3, C: 4}, {Shared: false, D: 4, C: 3}, {Shared: true, D: 3, C: 4}},
+		// ties
+		{{Shared: true, D: 3, C: 4}, {Shared: true, D: 3, C: 4}, {Shared: true, D: 2, C: 3}, {Shared: true, D: 3, C: 4}},
+		// all equal
+		{{Shared: true, D: 2, C: 3}, {Shared: true, D: 2, C: 3}, {Shared: true, D: 2, C: 3}, {Shared: true, D: 2, C: 3}},
+		// big slack everywhere
+		{{Shared: true, D: 2, C: 6}, {Shared: true, D: 3, C: 6}, {Shared: true, D: 2, C: 6}, {Shared: true, D: 3, C: 6}},
+	}
+	for i, ents := range cases {
+		pn := Build(fmt.Sprintf("four%d", i), ents)
+		rep := unreachable.TheoremN(pn.Configuration())
+		truth := gt4(pn.Scenario)
+		total++
+		if rep.Unreachable == truth {
+			mis++
+			t.Errorf("case %d: TheoremN unreachable=%v but checker reachable=%v (%s)", i, rep.Unreachable, truth, rep)
+		}
+	}
+	if mis != 0 {
+		t.Fatalf("%d/%d mismatches", mis, total)
+	}
+}

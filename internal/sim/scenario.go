@@ -1,0 +1,64 @@
+package sim
+
+import "repro/internal/topology"
+
+// Scenario bundles a network, a simulator configuration and a fixed message
+// set: everything needed to instantiate identical simulations repeatedly.
+// The reachability searches in the mcheck package and the paper-network
+// constructions in papernets exchange Scenario values.
+type Scenario struct {
+	Name string
+	Net  *topology.Network
+	Cfg  Config
+	Msgs []MessageSpec
+}
+
+// NewSim instantiates a fresh simulator with every message added. It panics
+// if any message is invalid; scenarios are static test fixtures whose
+// validity is a programming invariant.
+func (sc Scenario) NewSim() *Sim {
+	s := New(sc.Net, sc.Cfg)
+	for _, m := range sc.Msgs {
+		s.MustAdd(m)
+	}
+	return s
+}
+
+// WithLengths returns a copy of the scenario with per-message lengths
+// replaced (lengths[i] applies to Msgs[i]). Entries with value 0 keep the
+// original length.
+func (sc Scenario) WithLengths(lengths []int) Scenario {
+	out := sc
+	out.Msgs = append([]MessageSpec(nil), sc.Msgs...)
+	for i, l := range lengths {
+		if i >= len(out.Msgs) {
+			break
+		}
+		if l > 0 {
+			out.Msgs[i].Length = l
+		}
+	}
+	return out
+}
+
+// WithInjectTimes returns a copy of the scenario with per-message injection
+// times replaced.
+func (sc Scenario) WithInjectTimes(times []int) Scenario {
+	out := sc
+	out.Msgs = append([]MessageSpec(nil), sc.Msgs...)
+	for i, at := range times {
+		if i >= len(out.Msgs) {
+			break
+		}
+		out.Msgs[i].InjectAt = at
+	}
+	return out
+}
+
+// WithBufferDepth returns a copy of the scenario with the channel buffer
+// depth replaced.
+func (sc Scenario) WithBufferDepth(depth int) Scenario {
+	out := sc
+	out.Cfg.BufferDepth = depth
+	return out
+}

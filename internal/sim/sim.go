@@ -1,0 +1,1001 @@
+// Package sim is a cycle-accurate, flit-level wormhole switching simulator.
+//
+// It implements the operational model of Dally & Seitz (1987) under the
+// exact assumptions Schwiebert (SPAA '97) lists in Section 3:
+//
+//  1. Nodes generate messages of arbitrary length at any rate (sources may
+//     hold a ready message indefinitely before injecting).
+//  2. A message arriving at its destination is always consumed, one flit
+//     per cycle.
+//  3. Once a channel queue accepts a header flit it accepts only that
+//     message's flits until the message is through.
+//  4. Atomic buffer allocation: a channel queue holds flits of at most one
+//     message, and a new header is accepted only strictly after the
+//     previous message's last flit has left the queue.
+//  5. Simultaneous requests for one output channel are arbitrated;
+//     messages already waiting are served starvation-free.
+//
+// Time advances in synchronous network cycles; each channel forwards at
+// most one flit per cycle, and a worm's flits pipeline (a flit moves into
+// the buffer slot its predecessor vacates in the same cycle). Assumption 4
+// admits two readings, both implemented: by default a released channel is
+// acquirable the cycle after the tail departs; with
+// Config.SameCycleHandoff it is acquirable the departing cycle itself —
+// the reading the paper's Theorem 4 proof uses.
+//
+// Messages route either obliviously (a fixed channel path) or adaptively
+// (a per-hop candidate function, MessageSpec.Route); adaptive paths
+// materialize as the header advances.
+//
+// The simulator supports the paper's Section 6 fault model via per-message
+// freeze counters (a frozen message does not move even when its output
+// channel is free), and exposes Clone, Encode, explicit arbitration picks
+// and adaptive selection masks so the mcheck package can use it as the
+// transition function of an exact state-space search.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// RouteFunc supplies the candidate output channels for an adaptive
+// message at node at (arrived on channel in, topology.None at the source)
+// heading for dst. The engine acquires whichever candidate arbitration
+// grants; candidates that do not leave at, or that the message has already
+// used, are ignored. Returning no usable candidate when the message has
+// not arrived blocks it forever — routing functions must be connected.
+type RouteFunc func(at topology.NodeID, in topology.ChannelID, dst topology.NodeID) []topology.ChannelID
+
+// MessageSpec describes a message to simulate. Exactly one of Path
+// (oblivious routing: the fixed channel sequence, from
+// routing.Algorithm.Path) and Route (adaptive routing: per-hop candidate
+// sets) must be set.
+type MessageSpec struct {
+	Src, Dst topology.NodeID
+	Length   int // flits, >= 1
+	Path     []topology.ChannelID
+	Route    RouteFunc
+	InjectAt int    // earliest cycle the source tries to inject (>= 0)
+	Label    string // optional, for diagnostics
+}
+
+// message is the runtime state of one message.
+type message struct {
+	spec MessageSpec
+	id   int
+	// path is the materialized channel sequence: a copy of spec.Path for
+	// oblivious messages, grown hop by hop as the header acquires
+	// channels for adaptive ones.
+	path           []topology.ChannelID
+	queued         []int // flits currently buffered in each path channel
+	injected       int   // flits that have left the source
+	consumed       int   // flits consumed at the destination
+	headerConsumed bool
+	frozen         int  // cycles the message will not move (Section 6 faults)
+	held           bool // source withholds injection (assumption 1)
+	// mask, when not topology.None, restricts an adaptive message's
+	// candidate set to that single channel for the current cycle (cleared
+	// after each Step); used by search to enumerate selection choices.
+	mask topology.ChannelID
+
+	injectedAt  int // cycle the header entered the network, -1 before
+	deliveredAt int // cycle the tail was consumed, -1 before
+}
+
+func (m *message) adaptive() bool { return m.spec.Route != nil }
+
+func (m *message) delivered() bool { return m.consumed == m.spec.Length }
+
+func (m *message) inNetwork() bool { return m.injected > m.consumed }
+
+// headIdx returns the largest path index holding flits, or -1.
+func (m *message) headIdx() int {
+	for i := len(m.queued) - 1; i >= 0; i-- {
+		if m.queued[i] > 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Config controls simulator behaviour.
+type Config struct {
+	// BufferDepth is the flit capacity of every channel queue. The paper's
+	// hardest case — and the default — is 1.
+	BufferDepth int
+	// Arbiter resolves simultaneous requests for a free channel. Defaults
+	// to FIFO (longest-waiting wins, ties to lowest message ID), which is
+	// starvation-free per assumption 5.
+	Arbiter Arbiter
+	// SameCycleHandoff selects the aggressive reading of assumption 4:
+	// when a message's tail leaves a channel this cycle, a waiting header
+	// may acquire the channel in the same cycle (the handoff the paper's
+	// Theorem 4 proof uses — "immediately after M1 has traversed cs, M2
+	// starts traversing cs"). When false (default), a released channel
+	// becomes acquirable only on the following cycle. Same-cycle handoff
+	// chains are resolved to depth one: a header may enter a channel freed
+	// by a message that is not itself acquiring a freed channel this
+	// cycle.
+	SameCycleHandoff bool
+}
+
+// Sim is a simulator instance. Create one with New, add messages, then
+// Step or Run.
+type Sim struct {
+	net   *topology.Network
+	cfg   Config
+	now   int
+	msgs  []*message
+	owner []int // channel -> message id, -1 when free
+	// waitingSince[msg] is the cycle the message's header began waiting
+	// for its next channel, -1 when not waiting; drives FIFO arbitration.
+	waitingSince []int
+
+	// perCycleMoved reports whether the last Step moved any flit.
+	lastMoved bool
+}
+
+// New returns an empty simulator for net.
+func New(net *topology.Network, cfg Config) *Sim {
+	if cfg.BufferDepth <= 0 {
+		cfg.BufferDepth = 1
+	}
+	if cfg.Arbiter == nil {
+		cfg.Arbiter = FIFOArbiter{}
+	}
+	owner := make([]int, net.NumChannels())
+	for i := range owner {
+		owner[i] = -1
+	}
+	return &Sim{net: net, cfg: cfg, owner: owner}
+}
+
+// Add validates and registers a message, returning its ID (dense from 0 in
+// insertion order).
+func (s *Sim) Add(spec MessageSpec) (int, error) {
+	if spec.Length < 1 {
+		return -1, fmt.Errorf("sim: message length %d < 1", spec.Length)
+	}
+	if spec.Src == spec.Dst {
+		return -1, fmt.Errorf("sim: message source equals destination (%d)", spec.Src)
+	}
+	if spec.Route != nil {
+		if spec.Path != nil {
+			return -1, fmt.Errorf("sim: message has both a fixed path and an adaptive route")
+		}
+	} else {
+		if len(spec.Path) == 0 {
+			return -1, fmt.Errorf("sim: message has no path")
+		}
+		if !s.net.IsPath(spec.Src, spec.Dst, spec.Path) {
+			return -1, fmt.Errorf("sim: message path %v is not a contiguous %d -> %d path", spec.Path, spec.Src, spec.Dst)
+		}
+		seen := make(map[topology.ChannelID]bool, len(spec.Path))
+		for _, c := range spec.Path {
+			if seen[c] {
+				return -1, fmt.Errorf("sim: message path %v uses channel %d twice; a message may hold a channel only once", spec.Path, c)
+			}
+			seen[c] = true
+		}
+	}
+	if spec.InjectAt < 0 {
+		return -1, fmt.Errorf("sim: negative injection time %d", spec.InjectAt)
+	}
+	id := len(s.msgs)
+	m := &message{
+		spec:        spec,
+		id:          id,
+		path:        append([]topology.ChannelID(nil), spec.Path...),
+		queued:      make([]int, len(spec.Path)),
+		mask:        topology.None,
+		injectedAt:  -1,
+		deliveredAt: -1,
+	}
+	s.msgs = append(s.msgs, m)
+	s.waitingSince = append(s.waitingSince, -1)
+	return id, nil
+}
+
+// MustAdd is Add that panics on error.
+func (s *Sim) MustAdd(spec MessageSpec) int {
+	id, err := s.Add(spec)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Now returns the current cycle.
+func (s *Sim) Now() int { return s.now }
+
+// NumMessages returns the number of registered messages.
+func (s *Sim) NumMessages() int { return len(s.msgs) }
+
+// Owner returns the ID of the message holding channel c, or -1.
+func (s *Sim) Owner(c topology.ChannelID) int { return s.owner[c] }
+
+// SetFrozen freezes message id for the next n cycles: it will not move or
+// contend for channels even when able (the Section 6 fault model). Calling
+// with n = 0 unfreezes.
+func (s *Sim) SetFrozen(id, n int) { s.msgs[id].frozen = n }
+
+// Frozen returns the remaining frozen cycles of message id.
+func (s *Sim) Frozen(id int) int { return s.msgs[id].frozen }
+
+// SetHeld controls source-side injection: a held message's source does not
+// attempt injection regardless of InjectAt. Holding a message that has
+// already begun injecting has no effect. Model checkers use this to
+// realize assumption 1's "any injection time".
+func (s *Sim) SetHeld(id int, held bool) { s.msgs[id].held = held }
+
+// SetMask restricts an adaptive message to request only the given channel
+// during the next Step; the mask clears when the step completes. Model
+// checkers use it to enumerate adaptive selection nondeterminism: the
+// masked channel must be one of the message's current candidates (this is
+// the caller's responsibility — a stale mask simply blocks the message for
+// one cycle). Pass topology.None to clear. Masks on oblivious messages are
+// ignored.
+func (s *Sim) SetMask(id int, c topology.ChannelID) { s.msgs[id].mask = c }
+
+// Held reports whether message id is held at its source.
+func (s *Sim) Held(id int) bool { return s.msgs[id].held }
+
+// Contention describes one contested free channel: the messages whose
+// header may acquire it this cycle.
+type Contention struct {
+	Channel    topology.ChannelID
+	Contenders []int // message IDs, sorted
+}
+
+// AcquirableCandidates returns the channels message id wants and could
+// acquire this cycle (free now, or releasing under same-cycle handoff).
+// Search code enumerates adaptive selection nondeterminism over this set
+// via SetMask.
+func (s *Sim) AcquirableCandidates(id int) []topology.ChannelID {
+	freeing := s.predictReleases()
+	var out []topology.ChannelID
+	for _, c := range s.wantedChannels(s.msgs[id]) {
+		if s.owner[c] == -1 || freeing[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// IsAdaptive reports whether message id routes adaptively.
+func (s *Sim) IsAdaptive(id int) bool { return s.msgs[id].adaptive() }
+
+// Contentions returns this cycle's channel-acquisition choice points: every
+// acquirable channel (free now, or — with same-cycle handoff — freed by a
+// departing tail this cycle) that two or more eligible headers request
+// simultaneously. Channels requested by a single header are not included
+// (no choice).
+func (s *Sim) Contentions() []Contention {
+	reqs := s.acquisitionRequests(s.predictReleases())
+	var out []Contention
+	for c, ids := range reqs {
+		if len(ids) > 1 {
+			sort.Ints(ids)
+			out = append(out, Contention{Channel: c, Contenders: ids})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Channel < out[j].Channel })
+	return out
+}
+
+// acquisitionRequests maps each acquirable channel to the messages whose
+// header wants to acquire it this cycle. A channel is acquirable when it is
+// free, or when freeing marks it as releasing this cycle (same-cycle
+// handoff). Adaptive messages may request several channels at once; grant
+// resolution ensures each message wins at most one.
+func (s *Sim) acquisitionRequests(freeing map[topology.ChannelID]bool) map[topology.ChannelID][]int {
+	reqs := make(map[topology.ChannelID][]int)
+	for _, m := range s.msgs {
+		for _, c := range s.wantedChannels(m) {
+			if s.owner[c] == -1 || freeing[c] {
+				reqs[c] = append(reqs[c], m.id)
+			}
+		}
+	}
+	return reqs
+}
+
+// arrived reports whether the message's materialized path already ends at
+// its destination (always true for oblivious messages at the last index).
+func (s *Sim) arrived(m *message) bool {
+	if !m.adaptive() {
+		return true
+	}
+	n := len(m.path)
+	return n > 0 && s.net.Channel(m.path[n-1]).Dst == m.spec.Dst
+}
+
+// predictReleases returns the channels whose owner's tail will depart this
+// cycle. The owner's own header acquisition is predicted optimistically
+// (it moves whenever its next channel is free at the start of the cycle);
+// if the owner then loses that arbitration the release does not happen,
+// and the acquisition guard in moveMessage makes the granted waiter simply
+// stall one more cycle. It returns nil in strict-handoff mode.
+func (s *Sim) predictReleases() map[topology.ChannelID]bool {
+	if !s.cfg.SameCycleHandoff {
+		return nil
+	}
+	freeing := make(map[topology.ChannelID]bool)
+	for _, m := range s.msgs {
+		if m.delivered() || m.frozen > 0 || m.injected < m.spec.Length {
+			continue
+		}
+		low := -1
+		for i, q := range m.queued {
+			if q > 0 {
+				low = i
+				break
+			}
+		}
+		if low < 0 || m.queued[low] != 1 {
+			continue
+		}
+		// Walk the worm front to back, computing whether one flit departs
+		// each occupied channel this cycle (mirrors the movement pass).
+		h := m.headIdx()
+		last := len(m.path) - 1
+		departs := make([]bool, h+1)
+		for i := h; i >= low; i-- {
+			if m.queued[i] == 0 {
+				continue
+			}
+			if i == last {
+				if s.arrived(m) {
+					departs[i] = true // consumption never blocks
+					continue
+				}
+				// Adaptive frontier: optimistically departs when any
+				// candidate channel is free at the start of the cycle.
+				for _, c := range s.wantedChannels(m) {
+					if s.owner[c] == -1 {
+						departs[i] = true
+						break
+					}
+				}
+				continue
+			}
+			next := m.path[i+1]
+			if s.owner[next] != m.id {
+				// Header acquisition: optimistically moves when the
+				// channel is free at the start of the cycle.
+				departs[i] = i == h && !m.headerConsumed && s.owner[next] == -1
+				continue
+			}
+			free := s.cfg.BufferDepth - m.queued[i+1]
+			if i+1 <= h && departs[i+1] {
+				free++
+			}
+			departs[i] = free > 0
+		}
+		if departs[low] {
+			freeing[m.path[low]] = true
+		}
+	}
+	return freeing
+}
+
+// wantedChannels returns the channels the message's header may acquire
+// next, if the message is eligible to request one this cycle (not
+// delivered, not frozen, header not consumed, and — for injection — ready
+// and not held). Oblivious messages want exactly their next path channel;
+// adaptive messages want every usable candidate their route function
+// offers.
+func (s *Sim) wantedChannels(m *message) []topology.ChannelID {
+	if m.delivered() || m.frozen > 0 || m.headerConsumed {
+		return nil
+	}
+	var at topology.NodeID
+	in := topology.None
+	if m.injected == 0 {
+		if m.held || s.now < m.spec.InjectAt {
+			return nil
+		}
+		if !m.adaptive() {
+			return m.path[:1]
+		}
+		at = m.spec.Src
+	} else {
+		h := m.headIdx()
+		if h < 0 {
+			return nil
+		}
+		if !m.adaptive() {
+			if h == len(m.path)-1 {
+				return nil // header at the destination channel: consumption
+			}
+			return m.path[h+1 : h+2]
+		}
+		// An adaptive header is always at the end of the materialized
+		// path.
+		if h != len(m.path)-1 || s.arrived(m) {
+			return nil
+		}
+		in = m.path[h]
+		at = s.net.Channel(in).Dst
+	}
+	return s.adaptiveCandidates(m, at, in)
+}
+
+// adaptiveCandidates filters the route function's candidates: they must
+// leave the current node, must not revisit a channel the message already
+// used (a message may hold a channel only once), and must match the
+// message's selection mask when one is set.
+func (s *Sim) adaptiveCandidates(m *message, at topology.NodeID, in topology.ChannelID) []topology.ChannelID {
+	raw := m.spec.Route(at, in, m.spec.Dst)
+	var out []topology.ChannelID
+	for _, c := range raw {
+		if c < 0 || int(c) >= s.net.NumChannels() || s.net.Channel(c).Src != at {
+			continue
+		}
+		if m.mask != topology.None && c != m.mask {
+			continue
+		}
+		used := false
+		for _, p := range m.path {
+			if p == c {
+				used = true
+				break
+			}
+		}
+		if !used {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// StepResult reports what happened in one cycle.
+type StepResult struct {
+	Moved bool // some flit moved (including injection and consumption)
+}
+
+// Step advances the simulation one cycle using the configured arbiter.
+func (s *Sim) Step() StepResult {
+	return s.step(nil)
+}
+
+// StepWithPicks advances one cycle, resolving the given contested channels
+// in favor of the specified message IDs; remaining contests fall back to
+// the configured arbiter. A pick naming a message that is not actually a
+// contender for the channel panics: the caller enumerated stale choices.
+func (s *Sim) StepWithPicks(picks map[topology.ChannelID]int) StepResult {
+	return s.step(picks)
+}
+
+func (s *Sim) step(picks map[topology.ChannelID]int) StepResult {
+	// Phase 1: arbitration. In strict mode the snapshot is start-of-cycle
+	// ownership; with same-cycle handoff, channels releasing this cycle
+	// are acquirable too.
+	freeing := s.predictReleases()
+	reqs := s.acquisitionRequests(freeing)
+	// Resolve grants channel by channel in ascending ID order so that an
+	// adaptive message contending on several channels wins at most one
+	// (deterministically the lowest); contenders that already won an
+	// earlier channel drop out of later contests.
+	channels := make([]topology.ChannelID, 0, len(reqs))
+	for c := range reqs {
+		channels = append(channels, c)
+	}
+	sort.Slice(channels, func(i, j int) bool { return channels[i] < channels[j] })
+	granted := make(map[int]topology.ChannelID) // message -> channel won
+	for _, c := range channels {
+		var ids []int
+		for _, id := range reqs[c] {
+			if _, won := granted[id]; !won {
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) == 0 {
+			continue
+		}
+		var winner int
+		if pick, ok := picks[c]; ok {
+			found := false
+			for _, id := range ids {
+				if id == pick {
+					found = true
+				}
+			}
+			if !found {
+				panic(fmt.Sprintf("sim: pick %d is not a contender for channel %d (contenders %v)", pick, c, ids))
+			}
+			winner = pick
+		} else if len(ids) == 1 {
+			winner = ids[0]
+		} else {
+			sort.Ints(ids)
+			winner = s.cfg.Arbiter.Pick(s, c, ids)
+		}
+		granted[winner] = c
+	}
+
+	// Track waiting-since for FIFO arbitration: a message that wants a
+	// channel (free or not) and does not get one this cycle is waiting.
+	for _, m := range s.msgs {
+		if wants := s.wantedChannels(m); len(wants) > 0 {
+			if _, won := granted[m.id]; !won {
+				if s.waitingSince[m.id] < 0 {
+					s.waitingSince[m.id] = s.now
+				}
+				continue
+			}
+		}
+		s.waitingSince[m.id] = -1
+	}
+
+	// Phase 2: movement, per message, front slot to back slot. In strict
+	// mode the order across messages does not matter: cross-message
+	// interaction happens only through acquisition (already arbitrated
+	// against the snapshot) and end-of-cycle release. With same-cycle
+	// handoff, releases apply immediately, and messages granted a
+	// releasing channel move after everyone else so the release has
+	// happened by the time they acquire.
+	moved := false
+	var releases []topology.ChannelID
+	release := func(c topology.ChannelID) {
+		if s.cfg.SameCycleHandoff {
+			s.owner[c] = -1
+		} else {
+			releases = append(releases, c)
+		}
+	}
+	var deferred []*message
+	for _, m := range s.msgs {
+		if c, won := granted[m.id]; won && freeing[c] {
+			deferred = append(deferred, m)
+			continue
+		}
+		if s.moveMessage(m, granted, release) {
+			moved = true
+		}
+	}
+	for _, m := range deferred {
+		if s.moveMessage(m, granted, release) {
+			moved = true
+		}
+	}
+
+	// Phase 3: end-of-cycle releases (strict mode) and freeze countdown.
+	for _, c := range releases {
+		// A release entry is only created when the owning message's tail
+		// left the channel; the owner cannot have changed within the cycle
+		// because acquisitions were arbitrated against the snapshot, which
+		// showed the channel owned.
+		s.owner[c] = -1
+	}
+	for _, m := range s.msgs {
+		if m.frozen > 0 {
+			m.frozen--
+		}
+		m.mask = topology.None
+	}
+	s.now++
+	s.lastMoved = moved
+	return StepResult{Moved: moved}
+}
+
+// moveMessage advances one message's flits front to back for one cycle,
+// calling release for each channel its tail departs. It reports whether
+// any flit moved. Acquisitions succeed only for channels granted to the
+// message that are actually free at the moment of the move (with
+// same-cycle handoff a predicted release may not have applied when handoff
+// chains exceed depth one; the acquisition is then skipped).
+func (s *Sim) moveMessage(m *message, granted map[int]topology.ChannelID, release func(topology.ChannelID)) bool {
+	if m.delivered() || m.frozen > 0 {
+		return false
+	}
+	moved := false
+	// acquire extends an adaptive message's materialized path by the
+	// granted channel; for oblivious messages the slot already exists.
+	acquire := func(i int, c topology.ChannelID) {
+		s.owner[c] = m.id
+		if m.adaptive() {
+			m.path = append(m.path, c)
+			m.queued = append(m.queued, 0)
+		}
+		if i >= 0 {
+			m.queued[i]--
+		}
+		m.queued[i+1]++
+		moved = true
+		if i >= 0 && m.queued[i] == 0 && s.tailBehind(m, i) == 0 {
+			release(m.path[i])
+		}
+	}
+	h := m.headIdx()
+	last := len(m.path) - 1
+	for i := h; i >= 0; i-- {
+		if m.queued[i] == 0 {
+			continue
+		}
+		if i == last {
+			if s.arrived(m) {
+				// One flit per cycle into the destination's sink.
+				m.queued[i]--
+				m.consumed++
+				m.headerConsumed = true
+				moved = true
+				if m.queued[i] == 0 && s.tailBehind(m, i) == 0 {
+					release(m.path[i])
+				}
+				if m.delivered() {
+					m.deliveredAt = s.now
+				}
+				continue
+			}
+			// Adaptive header at the frontier of its materialized path:
+			// extend it with the granted candidate, if any is free.
+			if i == h && !m.headerConsumed {
+				if c, won := granted[m.id]; won && s.owner[c] == -1 {
+					acquire(i, c)
+				}
+			}
+			continue
+		}
+		next := m.path[i+1]
+		if s.owner[next] == m.id {
+			if m.queued[i+1] < s.cfg.BufferDepth {
+				m.queued[i]--
+				m.queued[i+1]++
+				moved = true
+				if m.queued[i] == 0 && s.tailBehind(m, i) == 0 {
+					release(m.path[i])
+				}
+			}
+			continue
+		}
+		// Oblivious header acquisition of its fixed next channel.
+		if i == h && !m.headerConsumed && s.owner[next] == -1 {
+			if c, won := granted[m.id]; won && c == next {
+				acquire(i, c)
+			}
+		}
+	}
+	// Injection: source -> path[0].
+	if m.injected < m.spec.Length && !m.held && s.now >= m.spec.InjectAt {
+		if m.injected == 0 {
+			if c, won := granted[m.id]; won && s.owner[c] == -1 {
+				if !m.adaptive() && c != m.path[0] {
+					panic("sim: oblivious message granted a foreign channel")
+				}
+				s.owner[c] = m.id
+				if m.adaptive() {
+					m.path = append(m.path, c)
+					m.queued = append(m.queued, 0)
+				}
+				m.queued[0]++
+				m.injected++
+				m.injectedAt = s.now
+				moved = true
+			}
+		} else if first := m.path[0]; s.owner[first] == m.id && m.queued[0] < s.cfg.BufferDepth {
+			m.queued[0]++
+			m.injected++
+			moved = true
+		}
+	}
+	return moved
+}
+
+// tailBehind returns the number of this message's flits strictly behind
+// path index i (buffered in earlier channels or still at the source).
+func (s *Sim) tailBehind(m *message, i int) int {
+	n := m.spec.Length - m.injected // at source
+	for j := 0; j < i; j++ {
+		n += m.queued[j]
+	}
+	return n
+}
+
+// AllDelivered reports whether every message has been fully consumed.
+func (s *Sim) AllDelivered() bool {
+	for _, m := range s.msgs {
+		if !m.delivered() {
+			return false
+		}
+	}
+	return true
+}
+
+// quiescent reports whether the state can never change again without
+// external intervention: nothing moved last cycle, no message is frozen,
+// none is held, and no injection lies in the future. In a quiescent state
+// with undelivered messages the network is deadlocked.
+func (s *Sim) quiescent() bool {
+	if s.lastMoved {
+		return false
+	}
+	for _, m := range s.msgs {
+		if m.delivered() {
+			continue
+		}
+		if m.frozen > 0 || m.held || s.now <= m.spec.InjectAt {
+			return false
+		}
+	}
+	return true
+}
+
+// Result classifies the end state of Run.
+type Result int
+
+const (
+	// ResultDelivered: every message was fully consumed.
+	ResultDelivered Result = iota
+	// ResultDeadlock: the network reached a stable state with undelivered
+	// messages — no flit can ever move again.
+	ResultDeadlock
+	// ResultTimeout: the cycle budget was exhausted first.
+	ResultTimeout
+)
+
+// String renders the result.
+func (r Result) String() string {
+	switch r {
+	case ResultDelivered:
+		return "delivered"
+	case ResultDeadlock:
+		return "deadlock"
+	case ResultTimeout:
+		return "timeout"
+	}
+	return fmt.Sprintf("Result(%d)", int(r))
+}
+
+// Outcome is the final report of Run.
+type Outcome struct {
+	Result      Result
+	Cycles      int   // cycles executed
+	Undelivered []int // message IDs not delivered (deadlock/timeout)
+}
+
+// Run steps the simulation until every message is delivered, the network
+// deadlocks (a provably stable non-empty state), or maxCycles elapse.
+// Deadlock detection is exact, not timeout-based: the transition function
+// is deterministic once injections are due and freezes expired, so a cycle
+// with no movement proves no movement can ever happen.
+func (s *Sim) Run(maxCycles int) Outcome {
+	for c := 0; c < maxCycles; c++ {
+		if s.AllDelivered() {
+			return Outcome{Result: ResultDelivered, Cycles: s.now}
+		}
+		s.Step()
+		if !s.lastMoved && s.quiescent() {
+			if s.AllDelivered() {
+				return Outcome{Result: ResultDelivered, Cycles: s.now}
+			}
+			return Outcome{Result: ResultDeadlock, Cycles: s.now, Undelivered: s.undelivered()}
+		}
+	}
+	if s.AllDelivered() {
+		return Outcome{Result: ResultDelivered, Cycles: s.now}
+	}
+	return Outcome{Result: ResultTimeout, Cycles: s.now, Undelivered: s.undelivered()}
+}
+
+func (s *Sim) undelivered() []int {
+	var ids []int
+	for _, m := range s.msgs {
+		if !m.delivered() {
+			ids = append(ids, m.id)
+		}
+	}
+	return ids
+}
+
+// Clone returns a deep copy sharing only the immutable network and message
+// specs. Arbiter state is shared if the arbiter is stateful; use stateless
+// arbiters (FIFO, Priority) or scripted picks when cloning for search.
+func (s *Sim) Clone() *Sim {
+	c := &Sim{
+		net:          s.net,
+		cfg:          s.cfg,
+		now:          s.now,
+		owner:        append([]int(nil), s.owner...),
+		waitingSince: append([]int(nil), s.waitingSince...),
+		lastMoved:    s.lastMoved,
+	}
+	c.msgs = make([]*message, len(s.msgs))
+	for i, m := range s.msgs {
+		cp := *m
+		cp.queued = append([]int(nil), m.queued...)
+		cp.path = append([]topology.ChannelID(nil), m.path...)
+		c.msgs[i] = &cp
+	}
+	return c
+}
+
+// Encode returns a canonical string of the mutable simulation state,
+// excluding the cycle counter and statistics, for use as a visited-set key
+// in state-space search. Two states with equal encodings have identical
+// future behaviour under identical choice sequences, provided every
+// message's InjectAt is already due (searches arrange this by using Held
+// instead of InjectAt).
+func (s *Sim) Encode() string {
+	var b strings.Builder
+	for _, m := range s.msgs {
+		fmt.Fprintf(&b, "m%d:i%dc%df%d", m.id, m.injected, m.consumed, m.frozen)
+		if m.held {
+			b.WriteByte('h')
+		}
+		if m.headerConsumed {
+			b.WriteByte('H')
+		}
+		b.WriteByte('[')
+		for _, q := range m.queued {
+			fmt.Fprintf(&b, "%d,", q)
+		}
+		b.WriteByte(']')
+		if m.adaptive() {
+			// The materialized route is part of an adaptive message's
+			// state.
+			b.WriteByte('p')
+			for _, c := range m.path {
+				fmt.Fprintf(&b, "%d.", c)
+			}
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// MsgView is a read-only snapshot of one message's state.
+type MsgView struct {
+	ID             int
+	Spec           MessageSpec
+	Injected       int
+	Consumed       int
+	HeaderConsumed bool
+	Delivered      bool
+	InNetwork      bool
+	Frozen         int
+	Held           bool
+	Queued         []int // copy
+	// Path is the materialized channel sequence (copy): fixed for
+	// oblivious messages, the route chosen so far for adaptive ones.
+	Path        []topology.ChannelID
+	InjectedAt  int // cycle the header entered the network, -1 before
+	DeliveredAt int // cycle the tail was consumed, -1 before
+}
+
+// Message returns a snapshot of message id.
+func (s *Sim) Message(id int) MsgView {
+	m := s.msgs[id]
+	return MsgView{
+		ID:             m.id,
+		Spec:           m.spec,
+		Injected:       m.injected,
+		Consumed:       m.consumed,
+		HeaderConsumed: m.headerConsumed,
+		Delivered:      m.delivered(),
+		InNetwork:      m.inNetwork(),
+		Frozen:         m.frozen,
+		Held:           m.held,
+		Queued:         append([]int(nil), m.queued...),
+		Path:           append([]topology.ChannelID(nil), m.path...),
+		InjectedAt:     m.injectedAt,
+		DeliveredAt:    m.deliveredAt,
+	}
+}
+
+// WaitsFor returns the channel message id's header is currently blocked on
+// and the blocking owner's message ID. ok is false when the message is not
+// blocked (not yet ready, delivered, header consumed, or some wanted
+// channel is free). An adaptive message is blocked only when every
+// candidate is occupied; the reported channel is then its first candidate
+// (Definition 6 is specific to oblivious routing, where the wanted channel
+// is unique).
+func (s *Sim) WaitsFor(id int) (ch topology.ChannelID, owner int, ok bool) {
+	m := s.msgs[id]
+	// A frozen or held message still "waits" in the Definition 6 sense
+	// only if its next channel is occupied; compute eligibility manually
+	// rather than via wantedChannels (which also filters frozen/held).
+	if m.delivered() || m.headerConsumed {
+		return 0, -1, false
+	}
+	var wants []topology.ChannelID
+	if m.injected == 0 {
+		if s.now < m.spec.InjectAt {
+			return 0, -1, false
+		}
+		if m.adaptive() {
+			wants = s.adaptiveCandidates(m, m.spec.Src, topology.None)
+		} else {
+			wants = m.path[:1]
+		}
+	} else {
+		h := m.headIdx()
+		if h < 0 {
+			return 0, -1, false
+		}
+		if m.adaptive() {
+			if h != len(m.path)-1 || s.arrived(m) {
+				return 0, -1, false
+			}
+			in := m.path[h]
+			wants = s.adaptiveCandidates(m, s.net.Channel(in).Dst, in)
+		} else {
+			if h == len(m.path)-1 {
+				return 0, -1, false
+			}
+			wants = m.path[h+1 : h+2]
+		}
+	}
+	if len(wants) == 0 {
+		return 0, -1, false
+	}
+	for _, c := range wants {
+		own := s.owner[c]
+		if own == -1 || own == id {
+			return 0, -1, false
+		}
+	}
+	return wants[0], s.owner[wants[0]], true
+}
+
+// CanAdvance reports whether message id could move at least one flit this
+// cycle, assuming it wins every arbitration it enters. Search code uses it
+// to prune pointless adversarial stalls: freezing a message that cannot
+// move is a no-op.
+func (s *Sim) CanAdvance(id int) bool {
+	m := s.msgs[id]
+	if m.delivered() || m.frozen > 0 {
+		return false
+	}
+	freeing := s.predictReleases()
+	acquirable := func(c topology.ChannelID) bool {
+		return s.owner[c] == -1 || freeing[c]
+	}
+	h := m.headIdx()
+	last := len(m.path) - 1
+	for i := h; i >= 0; i-- {
+		if m.queued[i] == 0 {
+			continue
+		}
+		if i == last {
+			if s.arrived(m) {
+				return true // consumption always proceeds
+			}
+			for _, c := range s.wantedChannels(m) {
+				if acquirable(c) {
+					return true
+				}
+			}
+			continue
+		}
+		next := m.path[i+1]
+		if s.owner[next] == m.id && m.queued[i+1] < s.cfg.BufferDepth {
+			return true
+		}
+		if i == h && !m.headerConsumed && acquirable(next) {
+			return true
+		}
+	}
+	if m.injected < m.spec.Length && !m.held && s.now >= m.spec.InjectAt {
+		if m.injected == 0 {
+			for _, c := range s.wantedChannels(m) {
+				if acquirable(c) {
+					return true
+				}
+			}
+		} else if first := m.path[0]; s.owner[first] == m.id && m.queued[0] < s.cfg.BufferDepth {
+			return true
+		}
+	}
+	return false
+}
+
+// Network returns the simulated network.
+func (s *Sim) Network() *topology.Network { return s.net }
+
+// BufferDepth returns the configured per-channel flit capacity.
+func (s *Sim) BufferDepth() int { return s.cfg.BufferDepth }

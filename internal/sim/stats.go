@@ -1,0 +1,39 @@
+package sim
+
+// Stats aggregates delivery statistics for performance experiments.
+type Stats struct {
+	Messages   int
+	Delivered  int
+	Cycles     int     // current simulation cycle
+	AvgLatency float64 // mean (deliveredAt - injectAt + 1) over delivered messages
+	MaxLatency int
+	FlitsMoved int     // total flits consumed at destinations
+	Throughput float64 // consumed flits per cycle
+}
+
+// Collect computes statistics from the simulator's current state. Latency
+// counts from the cycle the header entered the network to the cycle the
+// tail was consumed, inclusive.
+func Collect(s *Sim) Stats {
+	st := Stats{Messages: len(s.msgs), Cycles: s.now}
+	totalLatency := 0
+	for _, m := range s.msgs {
+		st.FlitsMoved += m.consumed
+		if !m.delivered() {
+			continue
+		}
+		st.Delivered++
+		lat := m.deliveredAt - m.injectedAt + 1
+		totalLatency += lat
+		if lat > st.MaxLatency {
+			st.MaxLatency = lat
+		}
+	}
+	if st.Delivered > 0 {
+		st.AvgLatency = float64(totalLatency) / float64(st.Delivered)
+	}
+	if s.now > 0 {
+		st.Throughput = float64(st.FlitsMoved) / float64(s.now)
+	}
+	return st
+}

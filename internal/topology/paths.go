@@ -1,0 +1,120 @@
+package topology
+
+import "strconv"
+
+// Distances returns the all-pairs hop-count distance matrix computed by BFS
+// over the channel graph. Distances()[u][v] is the minimum number of
+// channels a message must traverse from u to v, or -1 when v is unreachable
+// from u. Multiplicity of channels between a pair of nodes does not affect
+// distance.
+func (n *Network) Distances() [][]int {
+	d := make([][]int, len(n.nodes))
+	for u := range n.nodes {
+		d[u] = n.DistancesFrom(NodeID(u))
+	}
+	return d
+}
+
+// DistancesFrom returns single-source BFS distances from src, with -1 for
+// unreachable nodes.
+func (n *Network) DistancesFrom(src NodeID) []int {
+	dist := make([]int, len(n.nodes))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, cid := range n.out[u] {
+			v := n.channels[cid].Dst
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestPath returns one shortest channel path from src to dst (BFS
+// order), or nil when dst is unreachable or src == dst.
+func (n *Network) ShortestPath(src, dst NodeID) []ChannelID {
+	if src == dst {
+		return nil
+	}
+	prev := make([]ChannelID, len(n.nodes))
+	for i := range prev {
+		prev[i] = None
+	}
+	seen := make([]bool, len(n.nodes))
+	seen[src] = true
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == dst {
+			break
+		}
+		for _, cid := range n.out[u] {
+			v := n.channels[cid].Dst
+			if !seen[v] {
+				seen[v] = true
+				prev[v] = cid
+				queue = append(queue, v)
+			}
+		}
+	}
+	if !seen[dst] {
+		return nil
+	}
+	var rev []ChannelID
+	for at := dst; at != src; {
+		cid := prev[at]
+		rev = append(rev, cid)
+		at = n.channels[cid].Src
+	}
+	// Reverse into forward order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// PathNodes returns the node sequence visited by a channel path starting at
+// the path's first channel source. It returns nil for an empty path. It
+// panics if the path is not contiguous (channel i's destination must be
+// channel i+1's source).
+func (n *Network) PathNodes(path []ChannelID) []NodeID {
+	if len(path) == 0 {
+		return nil
+	}
+	nodes := make([]NodeID, 0, len(path)+1)
+	nodes = append(nodes, n.Channel(path[0]).Src)
+	for i, cid := range path {
+		c := n.Channel(cid)
+		if c.Src != nodes[len(nodes)-1] {
+			panic("topology: PathNodes: discontiguous path at index " + strconv.Itoa(i))
+		}
+		nodes = append(nodes, c.Dst)
+	}
+	return nodes
+}
+
+// IsPath reports whether path is a contiguous channel path from src to dst.
+// An empty path is a valid path only when src == dst.
+func (n *Network) IsPath(src, dst NodeID, path []ChannelID) bool {
+	at := src
+	for _, cid := range path {
+		if !n.validChannel(cid) {
+			return false
+		}
+		c := n.channels[cid]
+		if c.Src != at {
+			return false
+		}
+		at = c.Dst
+	}
+	return at == dst
+}

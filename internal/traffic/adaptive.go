@@ -1,0 +1,69 @@
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/adaptive"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// AdaptiveWorkload is the adaptive-routing counterpart of Workload: the
+// same Bernoulli injection process, routed per hop by an adaptive
+// candidate function instead of fixed paths.
+type AdaptiveWorkload struct {
+	Alg      adaptive.Algorithm
+	Pattern  Pattern
+	Rate     float64
+	Length   int
+	Duration int
+	Seed     int64
+}
+
+// Messages samples the workload into a concrete message list.
+func (w AdaptiveWorkload) Messages() ([]sim.MessageSpec, error) {
+	if w.Rate <= 0 || w.Rate > 1 {
+		return nil, fmt.Errorf("traffic: rate %v out of (0,1]", w.Rate)
+	}
+	if w.Length < 1 {
+		return nil, fmt.Errorf("traffic: length %d < 1", w.Length)
+	}
+	if w.Duration < 1 {
+		return nil, fmt.Errorf("traffic: duration %d < 1", w.Duration)
+	}
+	rng := rand.New(rand.NewSource(w.Seed))
+	var msgs []sim.MessageSpec
+	n := w.Alg.Net.NumNodes()
+	for t := 0; t < w.Duration; t++ {
+		for s := 0; s < n; s++ {
+			if rng.Float64() >= w.Rate {
+				continue
+			}
+			src := topology.NodeID(s)
+			dst := w.Pattern(src, rng)
+			if dst == src {
+				continue
+			}
+			msgs = append(msgs, w.Alg.Spec(src, dst, w.Length, t))
+		}
+	}
+	return msgs, nil
+}
+
+// Run samples the workload, simulates it, and returns statistics and the
+// outcome.
+func (w AdaptiveWorkload) Run(cfg sim.Config, maxCycles int) (sim.Stats, sim.Outcome, error) {
+	msgs, err := w.Messages()
+	if err != nil {
+		return sim.Stats{}, sim.Outcome{}, err
+	}
+	s := sim.New(w.Alg.Net, cfg)
+	for _, m := range msgs {
+		if _, err := s.Add(m); err != nil {
+			return sim.Stats{}, sim.Outcome{}, err
+		}
+	}
+	out := s.Run(maxCycles)
+	return sim.Collect(s), out, nil
+}

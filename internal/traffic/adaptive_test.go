@@ -1,0 +1,58 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/adaptive"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestAdaptiveWorkloadDuatoDelivers(t *testing.T) {
+	g := topology.NewMesh([]int{4, 4}, 2)
+	w := AdaptiveWorkload{
+		Alg:     adaptive.DuatoMesh(g),
+		Pattern: Uniform(16),
+		Rate:    0.1, Length: 4, Duration: 60, Seed: 5,
+	}
+	stats, out, err := w.Run(sim.Config{}, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result != sim.ResultDelivered {
+		t.Fatalf("duato workload outcome = %v", out.Result)
+	}
+	if stats.Delivered == 0 || stats.Delivered != stats.Messages {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestAdaptiveWorkloadFullyAdaptiveDeadlocks(t *testing.T) {
+	g := topology.NewMesh([]int{4, 4}, 1)
+	w := AdaptiveWorkload{
+		Alg:     adaptive.FullyAdaptiveMinimal(g),
+		Pattern: Uniform(16),
+		Rate:    0.3, Length: 8, Duration: 40, Seed: 1,
+	}
+	_, out, err := w.Run(sim.Config{}, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result != sim.ResultDeadlock {
+		t.Fatalf("fully adaptive heavy load = %v; want deadlock", out.Result)
+	}
+}
+
+func TestAdaptiveWorkloadValidation(t *testing.T) {
+	g := topology.NewMesh([]int{3, 3}, 1)
+	alg := adaptive.FullyAdaptiveMinimal(g)
+	for _, w := range []AdaptiveWorkload{
+		{Alg: alg, Pattern: Uniform(9), Rate: 0, Length: 1, Duration: 1},
+		{Alg: alg, Pattern: Uniform(9), Rate: 0.5, Length: 0, Duration: 1},
+		{Alg: alg, Pattern: Uniform(9), Rate: 0.5, Length: 1, Duration: 0},
+	} {
+		if _, err := w.Messages(); err == nil {
+			t.Fatalf("workload %+v should be rejected", w)
+		}
+	}
+}

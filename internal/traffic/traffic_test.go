@@ -1,0 +1,195 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func mesh44() (*topology.Grid, routing.Algorithm) {
+	g := topology.NewMesh([]int{4, 4}, 1)
+	return g, routing.DimensionOrder(g)
+}
+
+func TestUniformWorkloadDeterministic(t *testing.T) {
+	_, alg := mesh44()
+	w := Workload{Alg: alg, Pattern: Uniform(16), Rate: 0.3, Length: 4, Duration: 20, Seed: 7}
+	a, err := w.Messages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.Messages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic sample: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Src != b[i].Src || a[i].Dst != b[i].Dst || a[i].InjectAt != b[i].InjectAt {
+			t.Fatalf("message %d differs", i)
+		}
+	}
+	w.Seed = 8
+	c, _ := w.Messages()
+	if len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i].Src != c[i].Src || a[i].Dst != c[i].Dst {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds should differ")
+		}
+	}
+}
+
+func TestWorkloadRateRoughlyHonored(t *testing.T) {
+	_, alg := mesh44()
+	w := Workload{Alg: alg, Pattern: Uniform(16), Rate: 0.5, Length: 1, Duration: 100, Seed: 1}
+	msgs, err := w.Messages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected draws: 16 nodes x 100 cycles x 0.5 = 800, minus self-sends
+	// (~1/16). Allow a broad band.
+	if len(msgs) < 500 || len(msgs) > 900 {
+		t.Fatalf("messages = %d; want roughly 750", len(msgs))
+	}
+	for _, m := range msgs {
+		if m.Src == m.Dst {
+			t.Fatal("self-send leaked through")
+		}
+		if m.InjectAt < 0 || m.InjectAt >= 100 {
+			t.Fatalf("inject time %d out of range", m.InjectAt)
+		}
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	_, alg := mesh44()
+	for _, w := range []Workload{
+		{Alg: alg, Pattern: Uniform(16), Rate: 0, Length: 1, Duration: 1},
+		{Alg: alg, Pattern: Uniform(16), Rate: 1.5, Length: 1, Duration: 1},
+		{Alg: alg, Pattern: Uniform(16), Rate: 0.5, Length: 0, Duration: 1},
+		{Alg: alg, Pattern: Uniform(16), Rate: 0.5, Length: 1, Duration: 0},
+	} {
+		if _, err := w.Messages(); err == nil {
+			t.Fatalf("workload %+v should be rejected", w)
+		}
+	}
+}
+
+func TestTransposePattern(t *testing.T) {
+	g, _ := mesh44()
+	p := Transpose(g)
+	src := g.NodeAt([]int{1, 3})
+	if dst := p(src, nil); dst != g.NodeAt([]int{3, 1}) {
+		t.Fatalf("transpose of (1,3) = %v", g.Coords(dst))
+	}
+	diag := g.NodeAt([]int{2, 2})
+	if dst := p(diag, nil); dst != diag {
+		t.Fatal("diagonal nodes map to themselves")
+	}
+}
+
+func TestTransposeRejectsNonSquare(t *testing.T) {
+	g := topology.NewMesh([]int{2, 4}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Transpose(g)
+}
+
+func TestBitReversalPattern(t *testing.T) {
+	p := BitReversal(16)
+	// 4 bits: 0b0001 -> 0b1000 = 8.
+	if dst := p(1, nil); dst != 8 {
+		t.Fatalf("bitrev(1) = %d; want 8", dst)
+	}
+	if dst := p(6, nil); dst != 6 {
+		t.Fatalf("bitrev(6=0110) = %d; want 6", dst)
+	}
+	// Non-power-of-two: out-of-range reversals collapse to self.
+	p10 := BitReversal(10)
+	if dst := p10(1, nil); dst != 8 {
+		t.Fatalf("bitrev10(1) = %d; want 8", dst)
+	}
+	if dst := p10(3, nil); dst != 3 { // 0011 -> 1100 = 12 >= 10
+		t.Fatalf("bitrev10(3) = %d; want self", dst)
+	}
+}
+
+func TestHotspotPattern(t *testing.T) {
+	_, alg := mesh44()
+	w := Workload{Alg: alg, Pattern: Hotspot(16, 5, 0.8), Rate: 0.5, Length: 1, Duration: 50, Seed: 3}
+	msgs, err := w.Messages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := 0
+	for _, m := range msgs {
+		if m.Dst == 5 {
+			hot++
+		}
+	}
+	if hot < len(msgs)/2 {
+		t.Fatalf("hotspot got %d/%d messages; want most", hot, len(msgs))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad fraction")
+		}
+	}()
+	Hotspot(16, 0, 1.5)
+}
+
+func TestPermutationPattern(t *testing.T) {
+	perm := make([]topology.NodeID, 16)
+	for i := range perm {
+		perm[i] = topology.NodeID((i + 1) % 16)
+	}
+	p := Permutation(perm)
+	if dst := p(3, nil); dst != 4 {
+		t.Fatalf("perm(3) = %d", dst)
+	}
+}
+
+func TestWorkloadRunDeliversOnDORMesh(t *testing.T) {
+	_, alg := mesh44()
+	w := Workload{Alg: alg, Pattern: Uniform(16), Rate: 0.1, Length: 4, Duration: 50, Seed: 11}
+	stats, out, err := w.Run(sim.Config{}, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result != sim.ResultDelivered {
+		t.Fatalf("outcome = %v; DOR on a mesh cannot deadlock", out.Result)
+	}
+	if stats.Delivered != stats.Messages || stats.Delivered == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.AvgLatency < 1 {
+		t.Fatalf("latency = %v", stats.AvgLatency)
+	}
+}
+
+func TestWorkloadRunDetectsRingDeadlock(t *testing.T) {
+	// Shortest-path routing on a unidirectional ring under heavy uniform
+	// load deadlocks quickly.
+	net := topology.NewRing(6, false)
+	alg := routing.ShortestBFS(net)
+	w := Workload{Alg: alg, Pattern: Uniform(6), Rate: 0.9, Length: 6, Duration: 50, Seed: 2}
+	_, out, err := w.Run(sim.Config{}, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result != sim.ResultDeadlock {
+		t.Fatalf("outcome = %v; want deadlock", out.Result)
+	}
+}

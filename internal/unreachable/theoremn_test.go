@@ -1,0 +1,78 @@
+package unreachable
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTheoremNFigure1Unreachable(t *testing.T) {
+	cfg := Config{Entrants: []Entrant{
+		{D: 2, C: 3, Shared: true},
+		{D: 3, C: 4, Shared: true},
+		{D: 2, C: 3, Shared: true},
+		{D: 3, C: 4, Shared: true},
+	}}
+	rep := TheoremN(cfg)
+	if !rep.Unreachable {
+		t.Fatalf("figure 1 configuration should be unreachable: %s", rep)
+	}
+	if rep.SingleInstance != FalseResourceCycle || len(rep.Blockable) != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "unreachable") {
+		t.Fatalf("String = %q", rep.String())
+	}
+}
+
+func TestTheoremNBlockableMember(t *testing.T) {
+	// Like figure 1 but the first member's arc is shorter than its
+	// approach: an interposed copy of its predecessor blocks it.
+	cfg := Config{Entrants: []Entrant{
+		{D: 4, C: 3, Shared: true},
+		{D: 3, C: 4, Shared: true},
+		{D: 2, C: 3, Shared: true},
+		{D: 3, C: 4, Shared: true},
+	}}
+	rep := TheoremN(cfg)
+	if rep.Unreachable {
+		t.Fatal("blockable member should make the configuration reachable")
+	}
+	if rep.SingleInstance != FalseResourceCycle {
+		t.Fatalf("single-instance should still be infeasible: %v", rep.SingleInstance)
+	}
+	if len(rep.Blockable) != 1 || rep.Blockable[0] != 0 {
+		t.Fatalf("blockable = %v; want [0]", rep.Blockable)
+	}
+	if !strings.Contains(rep.String(), "interposed") {
+		t.Fatalf("String = %q", rep.String())
+	}
+}
+
+func TestTheoremNSingleInstanceReachable(t *testing.T) {
+	// Two sharers: always reachable without copies (Theorem 4).
+	cfg := Config{Entrants: []Entrant{
+		{D: 3, C: 4, Shared: true},
+		{D: 2, C: 3, Shared: true},
+	}}
+	rep := TheoremN(cfg)
+	if rep.Unreachable || rep.SingleInstance != DeadlockReachable || rep.Witness == nil {
+		t.Fatalf("report = %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "single-instance") {
+		t.Fatalf("String = %q", rep.String())
+	}
+}
+
+// TheoremN specializes to Theorem 5 on pure three-sharer configurations.
+func TestTheoremNAgreesWithTheorem5(t *testing.T) {
+	for _, D := range [][3]int{{4, 2, 3}, {5, 2, 3}, {6, 2, 3}, {5, 3, 4}, {4, 3, 2}, {3, 3, 2}} {
+		for _, C := range [][3]int{{2, 2, 2}, {4, 4, 4}, {5, 2, 4}, {3, 4, 2}, {6, 3, 3}} {
+			cfg := threeSharer(D, C)
+			t5 := Theorem5(cfg)
+			tn := TheoremN(cfg)
+			if t5.Unreachable != tn.Unreachable {
+				t.Fatalf("D%v C%v: Theorem5=%v TheoremN=%v", D, C, t5.Unreachable, tn.Unreachable)
+			}
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package unreachable decides whether a cyclic channel-dependency
+// configuration is a reachable deadlock or a false resource cycle
+// (unreachable configuration), implementing the Section 5 theory of
+// Schwiebert (SPAA '97).
+//
+// # The timing model
+//
+// A cyclic configuration consists of entrants (messages) m_1 ... m_n in
+// ring order. Entrant i approaches the ring over d_i channels (counting
+// the shared channel for entrants that use one), then holds an arc of c_i
+// ring channels, and is blocked exactly at the next entrant's first ring
+// channel. Messages have the paper's minimal length l_i = c_i and flit
+// buffers hold one flit, which the paper shows is the hardest case. The
+// routers use the aggressive handoff of the paper's proofs: a channel
+// whose tail departs in cycle t is acquirable in cycle t, and a header
+// arriving at a free channel in the same cycle as a competitor may lose
+// the tie (Section 3's adversarial arbitration).
+//
+// Under this model, if entrant m acquires its first approach channel at
+// time x_m, then
+//
+//   - m's header requests its blocking channel at x_m + d_m + c_m;
+//   - m's successor b occupies that channel from x_b + d_b onward
+//     (forever, if b is itself blocked in time — the worm length equals
+//     the arc length, so a blocked worm covers its arc exactly);
+//   - consecutive users of a shared channel are spaced by the message
+//     length: x_next >= x_prev + c_prev.
+//
+// The configuration is a reachable deadlock if and only if the resulting
+// difference-constraint system is feasible for some ordering of the
+// sharers on each shared channel:
+//
+//	x_b - x_m <= d_m + c_m - d_b        for every ring pair (m, b)
+//	x_t - x_s >= c_s                    for cs-consecutive sharers (s, t)
+//
+// Feasibility of a difference-constraint system is the absence of a
+// negative cycle in its constraint graph (Bellman–Ford).
+//
+// The paper's Theorems 2-5 are corollaries of this criterion, and the
+// package exposes them directly: Theorem 2 (no shared channel outside the
+// cycle ⇒ always reachable), Theorem 4 (exactly two sharers ⇒ always
+// reachable), and Theorem 5's eight conditions for three sharers. The
+// model checker in internal/mcheck provides independent ground truth; the
+// test suite verifies the criterion against it across entire parameter
+// families.
+package unreachable
+
+import "fmt"
+
+// Entrant is one message of a cyclic configuration, in ring order.
+type Entrant struct {
+	// D is the number of channels from the message's source to its ring
+	// entry, counting the shared channel if Shared.
+	D int
+	// C is the number of ring channels the message holds (= its minimal
+	// length in flits).
+	C int
+	// Shared reports whether the message's approach uses the shared
+	// channel.
+	Shared bool
+}
+
+// Config is a cyclic configuration: entrants in ring order, where entrant
+// i is blocked at entrant (i+1)%n's first ring channel. At most one shared
+// channel is supported, used by every entrant with Shared = true — the
+// shape of all of the paper's constructions.
+type Config struct {
+	Entrants []Entrant
+}
+
+// Verdict classifies a configuration.
+type Verdict int
+
+const (
+	// FalseResourceCycle: the configuration is unreachable — no schedule
+	// of injections and arbitration outcomes produces the deadlock.
+	FalseResourceCycle Verdict = iota
+	// DeadlockReachable: some schedule produces the Definition 6 deadlock.
+	DeadlockReachable
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	if v == FalseResourceCycle {
+		return "false-resource-cycle"
+	}
+	return "deadlock-reachable"
+}
+
+// Witness is the schedule certificate for a reachable deadlock: the order
+// in which the sharers acquire the shared channel and consistent
+// acquisition times for every entrant.
+type Witness struct {
+	// SharedOrder lists the indices of shared entrants in shared-channel
+	// acquisition order.
+	SharedOrder []int
+	// Times[i] is the cycle entrant i acquires its first approach channel.
+	Times []int
+}
+
+// Classify decides reachability of the configuration by checking the
+// difference-constraint system over every ordering of the sharers. It
+// returns a witness for reachable deadlocks.
+func Classify(cfg Config) (Verdict, *Witness) {
+	n := len(cfg.Entrants)
+	if n < 2 {
+		panic("unreachable: configuration needs at least two entrants")
+	}
+	var sharers []int
+	for i, e := range cfg.Entrants {
+		if e.Shared {
+			sharers = append(sharers, i)
+		}
+	}
+	for _, order := range permutations(sharers) {
+		if times, ok := feasible(cfg, order); ok {
+			return DeadlockReachable, &Witness{SharedOrder: order, Times: times}
+		}
+	}
+	return FalseResourceCycle, nil
+}
+
+// feasible solves the difference-constraint system for one shared-channel
+// ordering. Constraints of the form x_v - x_u <= w become edges u -> v of
+// weight w; the system is feasible iff the graph has no negative cycle,
+// and shortest-path distances from a virtual source give a concrete
+// solution (shifted to start at zero).
+func feasible(cfg Config, order []int) ([]int, bool) {
+	n := len(cfg.Entrants)
+	type edge struct {
+		u, v, w int
+	}
+	var edges []edge
+	// Ring blocking: for pair (m, b = next(m)): x_b - x_m <= d_m + c_m - d_b.
+	for m := 0; m < n; m++ {
+		b := (m + 1) % n
+		em, eb := cfg.Entrants[m], cfg.Entrants[b]
+		edges = append(edges, edge{u: m, v: b, w: em.D + em.C - eb.D})
+	}
+	// Shared-channel sequencing: x_t - x_s >= c_s, i.e. x_s - x_t <= -c_s.
+	for j := 0; j+1 < len(order); j++ {
+		s, t := order[j], order[j+1]
+		edges = append(edges, edge{u: t, v: s, w: -cfg.Entrants[s].C})
+	}
+	// Bellman–Ford with an implicit virtual source (all distances start at
+	// 0). A pass that still relaxes after n-1 full passes proves a
+	// negative cycle, i.e. infeasibility.
+	dist := make([]int, n)
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for _, e := range edges {
+			if d := dist[e.u] + e.w; d < dist[e.v] {
+				dist[e.v] = d
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if iter == n-1 {
+			return nil, false // still relaxing after n passes: negative cycle
+		}
+	}
+	// Shift times to be non-negative.
+	min := dist[0]
+	for _, d := range dist {
+		if d < min {
+			min = d
+		}
+	}
+	times := make([]int, n)
+	for i, d := range dist {
+		times[i] = d - min
+	}
+	return times, true
+}
+
+// permutations enumerates all orderings of ids; the empty and singleton
+// cases yield a single ordering.
+func permutations(ids []int) [][]int {
+	if len(ids) > 8 {
+		panic(fmt.Sprintf("unreachable: refusing to permute %d sharers", len(ids)))
+	}
+	if len(ids) == 0 {
+		return [][]int{nil}
+	}
+	var out [][]int
+	var rec func(k int)
+	work := append([]int(nil), ids...)
+	rec = func(k int) {
+		if k == len(work) {
+			out = append(out, append([]int(nil), work...))
+			return
+		}
+		for i := k; i < len(work); i++ {
+			work[k], work[i] = work[i], work[k]
+			rec(k + 1)
+			work[k], work[i] = work[i], work[k]
+		}
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,195 @@
+// Package waitfor builds message wait-for graphs over simulator states and
+// extracts Definition 6 deadlock configurations.
+//
+// In a wormhole network each blocked message waits for exactly one channel
+// — the next channel on its path — so the wait-for relation restricted to
+// blocked messages is a functional graph: cycle detection is a pointer
+// chase. A cycle in which every member has acquired at least one channel
+// and waits on a channel owned by the next member is the cyclic deadlock
+// configuration of Schwiebert's Definition 6 (and the packet wait-for cycle
+// of Dally & Aoki).
+package waitfor
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Edge records that message From is blocked waiting for Channel, which is
+// currently owned by message To.
+type Edge struct {
+	From, To int
+	Channel  topology.ChannelID
+}
+
+// Graph is the wait-for graph of one simulator state.
+type Graph struct {
+	// Edges holds one entry per blocked message, indexed by message ID
+	// order. Messages that are not blocked have no entry.
+	Edges []Edge
+	// next maps a blocked message to its single outgoing edge index, -1
+	// otherwise.
+	next map[int]int
+}
+
+// Build captures the wait-for graph of the simulator's current state.
+// Messages blocked at injection (holding no channel yet) are included as
+// graph edges — they wait like any other message — but are never members
+// of a Definition 6 cycle, because a cycle member must hold a channel.
+func Build(s *sim.Sim) *Graph {
+	g := &Graph{next: make(map[int]int)}
+	for id := 0; id < s.NumMessages(); id++ {
+		ch, owner, ok := s.WaitsFor(id)
+		if !ok {
+			continue
+		}
+		g.next[id] = len(g.Edges)
+		g.Edges = append(g.Edges, Edge{From: id, To: owner, Channel: ch})
+	}
+	return g
+}
+
+// WaitsOn returns the edge leaving message id, if it is blocked.
+func (g *Graph) WaitsOn(id int) (Edge, bool) {
+	i, ok := g.next[id]
+	if !ok {
+		return Edge{}, false
+	}
+	return g.Edges[i], true
+}
+
+// Deadlock is a Definition 6 deadlock configuration: a cycle of messages
+// each blocked on a channel held by the next member.
+type Deadlock struct {
+	// Cycle lists the member message IDs in cycle order: Cycle[i] waits
+	// for Channels[i], which is held by Cycle[(i+1) % len].
+	Cycle    []int
+	Channels []topology.ChannelID
+}
+
+// String renders the deadlock cycle.
+func (d *Deadlock) String() string {
+	if d == nil {
+		return "<no deadlock>"
+	}
+	var b strings.Builder
+	for i, m := range d.Cycle {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		fmt.Fprintf(&b, "m%d(waits c%d)", m, d.Channels[i])
+	}
+	return b.String()
+}
+
+// Find looks for a Definition 6 deadlock cycle in the simulator's current
+// state. It returns nil when none exists. The cycle it returns consists
+// only of messages that have acquired at least one channel (in-network);
+// injection-blocked messages may chain into a cycle but cannot belong to
+// one, since the channel they would "hold" does not exist.
+func Find(s *sim.Sim) *Deadlock {
+	g := Build(s)
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := make(map[int]int)
+	for id := 0; id < s.NumMessages(); id++ {
+		if _, blocked := g.next[id]; !blocked || state[id] != unvisited {
+			continue
+		}
+		// Chase the functional graph from id.
+		var stack []int
+		cur := id
+		for {
+			if st := state[cur]; st == done {
+				for _, v := range stack {
+					state[v] = done
+				}
+				break
+			} else if st == inStack {
+				// Found a cycle: extract it from the stack.
+				start := -1
+				for i, v := range stack {
+					if v == cur {
+						start = i
+						break
+					}
+				}
+				cycle := stack[start:]
+				if d := makeDeadlock(s, g, cycle); d != nil {
+					return d
+				}
+				for _, v := range stack {
+					state[v] = done
+				}
+				break
+			}
+			state[cur] = inStack
+			stack = append(stack, cur)
+			e, blocked := g.WaitsOn(cur)
+			if !blocked {
+				for _, v := range stack {
+					state[v] = done
+				}
+				break
+			}
+			cur = e.To
+		}
+	}
+	return nil
+}
+
+// makeDeadlock validates that every cycle member holds at least one channel
+// (Definition 6 requires members to have acquired a channel) and assembles
+// the report. A cycle containing an injection-blocked message is not a
+// Definition 6 configuration.
+func makeDeadlock(s *sim.Sim, g *Graph, cycle []int) *Deadlock {
+	d := &Deadlock{}
+	for _, id := range cycle {
+		if !s.Message(id).InNetwork {
+			return nil
+		}
+		e, _ := g.WaitsOn(id)
+		d.Cycle = append(d.Cycle, id)
+		d.Channels = append(d.Channels, e.Channel)
+	}
+	return d
+}
+
+// Verify checks the structural clauses of Definition 6 against the
+// simulator state, returning an error describing the first violated clause.
+// It is used to validate deadlock witnesses produced by searches.
+func Verify(s *sim.Sim, d *Deadlock) error {
+	if d == nil || len(d.Cycle) == 0 {
+		return fmt.Errorf("waitfor: empty deadlock configuration")
+	}
+	for i, id := range d.Cycle {
+		mv := s.Message(id)
+		if mv.Delivered {
+			return fmt.Errorf("waitfor: member m%d is delivered", id)
+		}
+		if mv.HeaderConsumed {
+			return fmt.Errorf("waitfor: member m%d has its header at the destination", id)
+		}
+		if !mv.InNetwork {
+			return fmt.Errorf("waitfor: member m%d holds no channel", id)
+		}
+		ch, owner, ok := s.WaitsFor(id)
+		if !ok {
+			return fmt.Errorf("waitfor: member m%d is not blocked", id)
+		}
+		if ch != d.Channels[i] {
+			return fmt.Errorf("waitfor: member m%d waits on c%d, configuration claims c%d", id, ch, d.Channels[i])
+		}
+		next := d.Cycle[(i+1)%len(d.Cycle)]
+		if owner != next {
+			return fmt.Errorf("waitfor: member m%d's wanted channel c%d is held by m%d, not cycle successor m%d", id, ch, owner, next)
+		}
+	}
+	return nil
+}
