@@ -35,9 +35,20 @@ func BenchmarkE1_Figure1_CDG(b *testing.B) {
 	}
 }
 
+// skipInShort guards the exhaustive-search benchmarks: a single iteration
+// of the heaviest ones runs for seconds, which busts the CI time budget.
+// `go test -bench=. -short` still compiles and smoke-runs the cheap ones.
+func skipInShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("skipping exhaustive-search benchmark in -short mode")
+	}
+}
+
 // BenchmarkE1_Figure1_Search is Theorem 1: the exhaustive state-space
 // search over every injection timing and arbitration outcome.
 func BenchmarkE1_Figure1_Search(b *testing.B) {
+	skipInShort(b)
 	pn := papernets.Figure1()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -84,6 +95,7 @@ func BenchmarkE2_PropertyChecks(b *testing.B) {
 // BenchmarkE3_RandomMinimalAnalyze analyzes random minimal oblivious
 // algorithms (Theorem 3: none of their cycles may classify unreachable).
 func BenchmarkE3_RandomMinimalAnalyze(b *testing.B) {
+	skipInShort(b)
 	net := topology.NewMesh([]int{3, 3}, 1).Network
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -133,6 +145,7 @@ func BenchmarkE5_Figure3_Classify(b *testing.B) {
 
 // BenchmarkE5_Figure3_SearchAll model-checks all six Figure 3 instances.
 func BenchmarkE5_Figure3_SearchAll(b *testing.B) {
+	skipInShort(b)
 	scenarios := make([]sim.Scenario, 0, 6)
 	for l := byte('a'); l <= 'f'; l++ {
 		scenarios = append(scenarios, papernets.Figure3(l).Scenario)
@@ -148,6 +161,7 @@ func BenchmarkE5_Figure3_SearchAll(b *testing.B) {
 // BenchmarkE6_GenK measures the cost of deciding Gen(k)'s minimal stall
 // tolerance (search at budgets k-1 and k) for k = 1..3.
 func BenchmarkE6_GenK(b *testing.B) {
+	skipInShort(b)
 	for k := 1; k <= 3; k++ {
 		pn := papernets.GenK(k)
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
@@ -203,6 +217,7 @@ func BenchmarkE7_SimulatorThroughput(b *testing.B) {
 // hardest case" claim — Theorem 1 search cost and verdict at depths 1, 2
 // and 4.
 func BenchmarkAblation_BufferDepth(b *testing.B) {
+	skipInShort(b)
 	pn := papernets.Figure1()
 	for _, depth := range []int{1, 2, 4} {
 		sc := pn.Scenario.WithBufferDepth(depth)
@@ -218,6 +233,7 @@ func BenchmarkAblation_BufferDepth(b *testing.B) {
 
 // BenchmarkAblation_MessageLength: minimal vs extended message lengths.
 func BenchmarkAblation_MessageLength(b *testing.B) {
+	skipInShort(b)
 	pn := papernets.Figure1()
 	for _, extra := range []int{0, 2, 4} {
 		lens := make([]int, len(pn.Scenario.Msgs))
@@ -260,6 +276,7 @@ func BenchmarkAblation_Arbitration(b *testing.B) {
 // BenchmarkAblation_SearchStrategy: state-space search vs bounded schedule
 // sweep on Figure 1 — same verdict, different cost profile.
 func BenchmarkAblation_SearchStrategy(b *testing.B) {
+	skipInShort(b)
 	pn := papernets.Figure1()
 	b.Run("statespace", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {

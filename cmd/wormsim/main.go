@@ -1,19 +1,32 @@
 // Command wormsim runs a flit-level wormhole simulation of a synthetic
-// workload on a standard topology and prints delivery statistics.
+// workload on a standard topology and prints delivery statistics,
+// optionally under an injected fault schedule with a recovery policy.
 //
-// Example:
+// Examples:
 //
 //	wormsim -topo mesh -dims 8x8 -alg dor -pattern transpose -rate 0.1 \
 //	        -length 8 -duration 500
+//	wormsim -topo torus -dims 4x4 -alg dor -mtbf 2000 -repair 30 \
+//	        -recovery abort-retry
+//	wormsim -topo ring -dims 8 -alg ecube -faults "50:stall:c3:40;200:fail:c7" \
+//	        -recovery reroute
+//
+// Exit status: 0 when every message reaches a terminal state (delivered,
+// or dropped by the recovery policy), 2 on deadlock, 3 on a cycle-budget
+// timeout.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/cli"
+	"repro/internal/fault"
+	"repro/internal/routing"
 	"repro/internal/sim"
+	"repro/internal/topology"
 	"repro/internal/traffic"
 )
 
@@ -30,82 +43,140 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload seed")
 		depth    = flag.Int("bufdepth", 1, "flit buffer depth per channel")
 		maxCyc   = flag.Int("maxcycles", 1_000_000, "simulation cycle budget")
+
+		faults    = flag.String("faults", "", "planned fault schedule: cycle:kind:target[:duration] events joined by ';' (kinds: fail, stall, router, freeze)")
+		mtbf      = flag.Float64("mtbf", 0, "generate random faults: mean cycles between faults per channel (0 = none)")
+		repair    = flag.Float64("repair", 25, "mean repair time of generated transient faults, in cycles")
+		permfrac  = flag.Float64("permfrac", 0, "fraction of generated channel faults that are permanent")
+		faultseed = flag.Int64("faultseed", 1, "fault generation seed")
+		recovery  = flag.String("recovery", "", "recovery policy: abort-retry, drop, reroute (empty = detect only)")
 	)
 	flag.Parse()
 
+	var (
+		net    *topology.Network
+		grid   *topology.Grid
+		oblAlg routing.Algorithm
+		name   string
+		msgs   []sim.MessageSpec
+		err    error
+	)
 	if cli.AdaptiveNames[*alg] {
-		runAdaptive(*topo, *alg, *dims, *vcs, *pattern, *rate, *length, *duration, *seed, *depth, *maxCyc)
-		return
+		a, g, berr := cli.BuildAdaptive(*topo, *alg, *dims, *vcs)
+		if berr != nil {
+			log.Fatal(berr)
+		}
+		net, grid, name = a.Net, g, a.Name+" (adaptive)"
+		w := traffic.AdaptiveWorkload{Alg: a, Pattern: buildPattern(*pattern, net, grid), Rate: *rate, Length: *length, Duration: *duration, Seed: *seed}
+		msgs, err = w.Messages()
+	} else {
+		a, g, berr := cli.Build(*topo, *alg, *dims, *vcs)
+		if berr != nil {
+			log.Fatal(berr)
+		}
+		oblAlg, net, grid, name = a, a.Network(), g, a.Name()
+		w := traffic.Workload{Alg: a, Pattern: buildPattern(*pattern, net, grid), Rate: *rate, Length: *length, Duration: *duration, Seed: *seed}
+		msgs, err = w.Messages()
 	}
-	a, grid, err := cli.Build(*topo, *alg, *dims, *vcs)
 	if err != nil {
 		log.Fatal(err)
-	}
-	net := a.Network()
-	var pat traffic.Pattern
-	switch *pattern {
-	case "uniform":
-		pat = traffic.Uniform(net.NumNodes())
-	case "transpose":
-		if grid == nil {
-			log.Fatal("wormsim: transpose needs a square 2-D mesh/torus")
-		}
-		pat = traffic.Transpose(grid)
-	case "bitrev":
-		pat = traffic.BitReversal(net.NumNodes())
-	case "hotspot":
-		pat = traffic.Hotspot(net.NumNodes(), 0, 0.3)
-	default:
-		log.Fatalf("wormsim: unknown pattern %q", *pattern)
 	}
 
-	w := traffic.Workload{Alg: a, Pattern: pat, Rate: *rate, Length: *length, Duration: *duration, Seed: *seed}
-	stats, out, err := w.Run(sim.Config{BufferDepth: *depth}, *maxCyc)
+	s := sim.New(net, sim.Config{BufferDepth: *depth})
+	for _, m := range msgs {
+		if _, err := s.Add(m); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	sch, err := fault.Parse(*faults)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *mtbf > 0 {
+		gen, err := fault.Generate(net, fault.GenParams{
+			Seed: *faultseed, Horizon: *duration, MTBF: *mtbf,
+			MeanRepair: *repair, PermanentFraction: *permfrac,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sch.Events = append(sch.Events, gen.Events...)
+		sch = sch.Sorted()
+	}
+	if err := sch.Validate(net, len(msgs)); err != nil {
+		log.Fatal(err)
+	}
+
+	var (
+		out sim.Outcome
+		rep *fault.Report
+	)
+	if *recovery != "" {
+		pol, err := fault.ParsePolicy(*recovery)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := fault.Runner{Sim: s, Schedule: sch, Recovery: fault.DefaultRecovery(pol), Alg: oblAlg}
+		rr := r.Run(*maxCyc)
+		rep, out = &rr, rr.Outcome
+	} else {
+		if len(sch.Events) > 0 {
+			r := fault.Runner{Sim: s, Schedule: sch, Recovery: fault.RecoveryConfig{
+				// Detect-only: a timeout longer than the budget means the
+				// watchdog never intervenes; the run reports what happened.
+				Policy: fault.Drop, Watchdog: fault.Watchdog{CheckEvery: 8, Timeout: *maxCyc + 1},
+			}}
+			rr := r.Run(*maxCyc)
+			rep, out = &rr, rr.Outcome
+		} else {
+			out = s.Run(*maxCyc)
+		}
+	}
+	stats := sim.Collect(s)
+
 	fmt.Printf("network:    %s (%d nodes, %d channels)\n", net.Name(), net.NumNodes(), net.NumChannels())
-	fmt.Printf("routing:    %s\n", a.Name())
+	fmt.Printf("routing:    %s\n", name)
 	fmt.Printf("outcome:    %s after %d cycles\n", out.Result, stats.Cycles)
-	fmt.Printf("messages:   %d delivered of %d\n", stats.Delivered, stats.Messages)
-	fmt.Printf("latency:    avg %.2f max %d cycles\n", stats.AvgLatency, stats.MaxLatency)
+	fmt.Printf("messages:   %d delivered of %d", stats.Delivered, stats.Messages)
+	if stats.Dropped > 0 || stats.Retries > 0 {
+		fmt.Printf(" (%d dropped, %d retries)", stats.Dropped, stats.Retries)
+	}
+	fmt.Println()
+	fmt.Printf("latency:    avg %.2f p50 %d p95 %d p99 %d max %d cycles\n",
+		stats.AvgLatency, stats.P50Latency, stats.P95Latency, stats.P99Latency, stats.MaxLatency)
 	fmt.Printf("throughput: %.3f flits/cycle\n", stats.Throughput)
-	if out.Result == sim.ResultDeadlock {
-		fmt.Printf("deadlocked messages: %v\n", out.Undelivered)
+	if rep != nil {
+		fmt.Printf("faults:     %d injected, %d interventions (%d retries, %d reroutes, %d drops)\n",
+			rep.FaultsInjected, rep.Interventions, rep.AbortRetries, rep.Reroutes, rep.Drops)
+		fmt.Printf("watchdog:   %d exact deadlocks, %d timeout suspicions, mean recovery latency %.1f cycles\n",
+			rep.DeadlocksDetected, rep.TimeoutSuspicions, rep.MeanRecoveryLatency)
+	}
+	switch out.Result {
+	case sim.ResultDeadlock:
+		fmt.Printf("undelivered messages: %v\n", out.Undelivered)
+		os.Exit(2)
+	case sim.ResultTimeout:
+		fmt.Printf("undelivered messages: %v\n", out.Undelivered)
+		os.Exit(3)
 	}
 }
 
-// runAdaptive simulates a workload routed by an adaptive algorithm.
-func runAdaptive(topo, alg, dims string, vcs int, pattern string, rate float64, length, duration int, seed int64, depth, maxCyc int) {
-	a, grid, err := cli.BuildAdaptive(topo, alg, dims, vcs)
-	if err != nil {
-		log.Fatal(err)
-	}
-	var pat traffic.Pattern
+// buildPattern resolves a traffic pattern name.
+func buildPattern(pattern string, net *topology.Network, grid *topology.Grid) traffic.Pattern {
 	switch pattern {
 	case "uniform":
-		pat = traffic.Uniform(a.Net.NumNodes())
+		return traffic.Uniform(net.NumNodes())
 	case "transpose":
-		pat = traffic.Transpose(grid)
+		if grid == nil || len(grid.Dims) != 2 || grid.Dims[0] != grid.Dims[1] {
+			log.Fatal("wormsim: transpose needs a square 2-D mesh/torus")
+		}
+		return traffic.Transpose(grid)
 	case "bitrev":
-		pat = traffic.BitReversal(a.Net.NumNodes())
+		return traffic.BitReversal(net.NumNodes())
 	case "hotspot":
-		pat = traffic.Hotspot(a.Net.NumNodes(), 0, 0.3)
-	default:
-		log.Fatalf("wormsim: unknown pattern %q", pattern)
+		return traffic.Hotspot(net.NumNodes(), 0, 0.3)
 	}
-	w := traffic.AdaptiveWorkload{Alg: a, Pattern: pat, Rate: rate, Length: length, Duration: duration, Seed: seed}
-	stats, out, err := w.Run(sim.Config{BufferDepth: depth}, maxCyc)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("network:    %s (%d nodes, %d channels)\n", a.Net.Name(), a.Net.NumNodes(), a.Net.NumChannels())
-	fmt.Printf("routing:    %s (adaptive)\n", a.Name)
-	fmt.Printf("outcome:    %s after %d cycles\n", out.Result, stats.Cycles)
-	fmt.Printf("messages:   %d delivered of %d\n", stats.Delivered, stats.Messages)
-	fmt.Printf("latency:    avg %.2f max %d cycles\n", stats.AvgLatency, stats.MaxLatency)
-	fmt.Printf("throughput: %.3f flits/cycle\n", stats.Throughput)
-	if out.Result == sim.ResultDeadlock {
-		fmt.Printf("deadlocked messages: %v\n", out.Undelivered)
-	}
+	log.Fatalf("wormsim: unknown pattern %q", pattern)
+	return nil
 }

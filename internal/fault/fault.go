@@ -1,0 +1,276 @@
+// Package fault is the fault-injection and deadlock-recovery subsystem for
+// the wormhole simulator: deterministic seed-driven fault schedules
+// (permanent link failures, transient link stalls with repair times,
+// router failures downing every incident channel, and the paper's
+// Section 6 per-message freezes), a watchdog combining the exact
+// Definition 6 cycle detector with a timeout heuristic for faulted
+// networks where exact stability never holds, and recovery policies —
+// abort-retry (kill the youngest worm in a detected cycle, drain its
+// buffers, reinject after exponential backoff), drop (graceful
+// degradation), and reroute (recompute oblivious paths on the degraded
+// topology; adaptive messages mask dead candidates in the engine itself).
+//
+// The subsystem extends Schwiebert's Section 6 fault model — "a message
+// may be delayed an arbitrary number of cycles even when its output
+// channel is free" — from per-message freezes to channel- and router-level
+// faults, and pairs the repo's exact deadlock detection with the practical
+// timeout-based watchdogs of the formal-verification literature (Verbeek &
+// Schmaltz, arXiv:1110.4677).
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Kind classifies a fault event.
+type Kind int
+
+const (
+	// LinkFail permanently fails one channel.
+	LinkFail Kind = iota
+	// LinkStall takes one channel out of service for Repair cycles.
+	LinkStall
+	// RouterFail downs every channel incident to a node, permanently when
+	// Repair == 0, else for Repair cycles.
+	RouterFail
+	// MessageFreeze freezes one message for Repair cycles: the paper's
+	// Section 6 adversarial stall, kept as a schedulable fault kind.
+	MessageFreeze
+)
+
+// String renders the kind using the schedule-spec keywords.
+func (k Kind) String() string {
+	switch k {
+	case LinkFail:
+		return "fail"
+	case LinkStall:
+		return "stall"
+	case RouterFail:
+		return "router"
+	case MessageFreeze:
+		return "freeze"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	// At is the cycle the fault strikes: it is applied before that cycle's
+	// Step, so the network is degraded for the whole of cycle At.
+	At   int
+	Kind Kind
+	// Channel is the victim of LinkFail and LinkStall.
+	Channel topology.ChannelID
+	// Node is the victim of RouterFail.
+	Node topology.NodeID
+	// Message is the victim of MessageFreeze.
+	Message int
+	// Repair is the outage length in cycles for LinkStall, RouterFail and
+	// MessageFreeze; 0 means permanent for RouterFail and is invalid for
+	// the other two. LinkFail ignores it.
+	Repair int
+}
+
+// String renders the event in schedule-spec syntax (parseable by Parse).
+func (e Event) String() string {
+	switch e.Kind {
+	case LinkFail:
+		return fmt.Sprintf("%d:fail:c%d", e.At, e.Channel)
+	case LinkStall:
+		return fmt.Sprintf("%d:stall:c%d:%d", e.At, e.Channel, e.Repair)
+	case RouterFail:
+		if e.Repair == 0 {
+			return fmt.Sprintf("%d:router:n%d", e.At, e.Node)
+		}
+		return fmt.Sprintf("%d:router:n%d:%d", e.At, e.Node, e.Repair)
+	case MessageFreeze:
+		return fmt.Sprintf("%d:freeze:m%d:%d", e.At, e.Message, e.Repair)
+	}
+	return fmt.Sprintf("%d:?%d", e.At, int(e.Kind))
+}
+
+// Apply injects the event into the simulator, whose clock must be at or
+// before the event's cycle. Repairs are implicit: the simulator returns a
+// stalled channel to service when its repair cycle is reached.
+func (e Event) Apply(s *sim.Sim) {
+	switch e.Kind {
+	case LinkFail:
+		s.FailChannel(e.Channel)
+	case LinkStall:
+		s.SetChannelDown(e.Channel, e.At+e.Repair)
+	case RouterFail:
+		until := sim.DownForever
+		if e.Repair > 0 {
+			until = e.At + e.Repair
+		}
+		s.FailRouter(e.Node, until)
+	case MessageFreeze:
+		s.SetFrozen(e.Message, e.Repair)
+	}
+}
+
+// Schedule is a fault schedule: the full set of events a run will suffer,
+// fixed up front so runs are deterministic and replayable.
+type Schedule struct {
+	Events []Event
+}
+
+// Sorted returns a copy with events ordered by cycle (stable within a
+// cycle, preserving spec order).
+func (sch Schedule) Sorted() Schedule {
+	ev := append([]Event(nil), sch.Events...)
+	sort.SliceStable(ev, func(i, j int) bool { return ev[i].At < ev[j].At })
+	return Schedule{Events: ev}
+}
+
+// String renders the schedule in spec syntax, events separated by ";".
+func (sch Schedule) String() string {
+	parts := make([]string, len(sch.Events))
+	for i, e := range sch.Events {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// Validate checks every event against the network and message population.
+func (sch Schedule) Validate(net *topology.Network, numMessages int) error {
+	for i, e := range sch.Events {
+		if e.At < 0 {
+			return fmt.Errorf("fault: event %d: negative cycle %d", i, e.At)
+		}
+		switch e.Kind {
+		case LinkFail, LinkStall:
+			if e.Channel < 0 || int(e.Channel) >= net.NumChannels() {
+				return fmt.Errorf("fault: event %d: channel %d out of range [0,%d)", i, e.Channel, net.NumChannels())
+			}
+			if e.Kind == LinkStall && e.Repair < 1 {
+				return fmt.Errorf("fault: event %d: stall needs a repair time >= 1", i)
+			}
+		case RouterFail:
+			if e.Node < 0 || int(e.Node) >= net.NumNodes() {
+				return fmt.Errorf("fault: event %d: node %d out of range [0,%d)", i, e.Node, net.NumNodes())
+			}
+			if e.Repair < 0 {
+				return fmt.Errorf("fault: event %d: negative repair %d", i, e.Repair)
+			}
+		case MessageFreeze:
+			if e.Message < 0 || e.Message >= numMessages {
+				return fmt.Errorf("fault: event %d: message %d out of range [0,%d)", i, e.Message, numMessages)
+			}
+			if e.Repair < 1 {
+				return fmt.Errorf("fault: event %d: freeze needs a duration >= 1", i)
+			}
+		default:
+			return fmt.Errorf("fault: event %d: unknown kind %d", i, int(e.Kind))
+		}
+	}
+	return nil
+}
+
+// Parse reads a schedule spec: events separated by ";" (or newlines), each
+// of the form
+//
+//	<cycle>:fail:c<chan>
+//	<cycle>:stall:c<chan>:<repair>
+//	<cycle>:router:n<node>[:<repair>]
+//	<cycle>:freeze:m<msg>:<cycles>
+//
+// e.g. "10:stall:c3:25;40:fail:c7;100:router:n2:50". Empty segments are
+// ignored, so trailing separators are harmless.
+func Parse(spec string) (Schedule, error) {
+	var sch Schedule
+	spec = strings.ReplaceAll(spec, "\n", ";")
+	for _, raw := range strings.Split(spec, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" || strings.HasPrefix(raw, "#") {
+			continue
+		}
+		e, err := parseEvent(raw)
+		if err != nil {
+			return Schedule{}, err
+		}
+		sch.Events = append(sch.Events, e)
+	}
+	return sch.Sorted(), nil
+}
+
+func parseEvent(raw string) (Event, error) {
+	parts := strings.Split(raw, ":")
+	if len(parts) < 3 {
+		return Event{}, fmt.Errorf("fault: event %q: want <cycle>:<kind>:<target>[:<repair>]", raw)
+	}
+	at, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil || at < 0 {
+		return Event{}, fmt.Errorf("fault: event %q: bad cycle %q", raw, parts[0])
+	}
+	target := strings.TrimSpace(parts[2])
+	id := func(prefix string) (int, error) {
+		if !strings.HasPrefix(target, prefix) {
+			return 0, fmt.Errorf("fault: event %q: target %q must start with %q", raw, target, prefix)
+		}
+		v, err := strconv.Atoi(target[len(prefix):])
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("fault: event %q: bad target %q", raw, target)
+		}
+		return v, nil
+	}
+	repair := func(required bool) (int, error) {
+		if len(parts) < 4 {
+			if required {
+				return 0, fmt.Errorf("fault: event %q: missing duration", raw)
+			}
+			return 0, nil
+		}
+		v, err := strconv.Atoi(strings.TrimSpace(parts[3]))
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("fault: event %q: bad duration %q", raw, parts[3])
+		}
+		return v, nil
+	}
+	kind := strings.TrimSpace(parts[1])
+	switch kind {
+	case "fail":
+		c, err := id("c")
+		if err != nil {
+			return Event{}, err
+		}
+		return Event{At: at, Kind: LinkFail, Channel: topology.ChannelID(c)}, nil
+	case "stall":
+		c, err := id("c")
+		if err != nil {
+			return Event{}, err
+		}
+		r, err := repair(true)
+		if err != nil {
+			return Event{}, err
+		}
+		return Event{At: at, Kind: LinkStall, Channel: topology.ChannelID(c), Repair: r}, nil
+	case "router":
+		n, err := id("n")
+		if err != nil {
+			return Event{}, err
+		}
+		r, err := repair(false)
+		if err != nil {
+			return Event{}, err
+		}
+		return Event{At: at, Kind: RouterFail, Node: topology.NodeID(n), Repair: r}, nil
+	case "freeze":
+		m, err := id("m")
+		if err != nil {
+			return Event{}, err
+		}
+		r, err := repair(true)
+		if err != nil {
+			return Event{}, err
+		}
+		return Event{At: at, Kind: MessageFreeze, Message: m, Repair: r}, nil
+	}
+	return Event{}, fmt.Errorf("fault: event %q: unknown kind %q (want fail, stall, router, freeze)", raw, kind)
+}

@@ -1,0 +1,144 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "10:stall:c3:25;40:fail:c7;100:router:n2:50;5:freeze:m1:4;200:router:n0"
+	sch, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{At: 5, Kind: MessageFreeze, Message: 1, Repair: 4},
+		{At: 10, Kind: LinkStall, Channel: 3, Repair: 25},
+		{At: 40, Kind: LinkFail, Channel: 7},
+		{At: 100, Kind: RouterFail, Node: 2, Repair: 50},
+		{At: 200, Kind: RouterFail, Node: 0},
+	}
+	if !reflect.DeepEqual(sch.Events, want) {
+		t.Fatalf("parsed %+v\nwant %+v", sch.Events, want)
+	}
+	again, err := Parse(sch.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", sch.String(), err)
+	}
+	if !reflect.DeepEqual(again.Events, sch.Events) {
+		t.Fatalf("round trip changed the schedule: %q", sch.String())
+	}
+}
+
+func TestParseIgnoresEmptySegmentsAndComments(t *testing.T) {
+	sch, err := Parse("  ;\n# a comment\n3:fail:c0;;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sch.Events) != 1 || sch.Events[0].Kind != LinkFail {
+		t.Fatalf("events = %+v; want one fail", sch.Events)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"10:melt:c3",      // unknown kind
+		"10:stall:c3",     // stall without duration
+		"10:freeze:m0",    // freeze without duration
+		"x:fail:c1",       // bad cycle
+		"10:fail:n1",      // wrong target prefix
+		"10:fail",         // too few fields
+		"10:stall:c3:-2",  // negative duration
+		"-1:fail:c0",      // negative cycle
+		"10:router:n-1:5", // negative id
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted; want error", spec)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	net := topology.NewRing(4, false)
+	ok := Schedule{Events: []Event{
+		{At: 1, Kind: LinkStall, Channel: 0, Repair: 5},
+		{At: 2, Kind: RouterFail, Node: 3, Repair: 10},
+		{At: 3, Kind: MessageFreeze, Message: 1, Repair: 2},
+	}}
+	if err := ok.Validate(net, 2); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	bad := []Schedule{
+		{Events: []Event{{At: 1, Kind: LinkFail, Channel: topology.ChannelID(net.NumChannels())}}},
+		{Events: []Event{{At: 1, Kind: RouterFail, Node: 9}}},
+		{Events: []Event{{At: 1, Kind: MessageFreeze, Message: 2, Repair: 1}}},
+		{Events: []Event{{At: 1, Kind: LinkStall, Channel: 0}}}, // no repair time
+	}
+	for i, sch := range bad {
+		if err := sch.Validate(net, 2); err == nil {
+			t.Errorf("bad schedule %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	net := topology.NewRing(8, true)
+	p := GenParams{Seed: 42, Horizon: 5000, MTBF: 800, MeanRepair: 30, PermanentFraction: 0.2, RouterFraction: 0.1}
+	a, err := Generate(net, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(net, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("expected some faults over a 5000-cycle horizon at MTBF 800")
+	}
+	if err := a.Validate(net, 0); err != nil {
+		t.Fatalf("generated schedule invalid: %v", err)
+	}
+	p.Seed = 43
+	c, err := Generate(net, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestEventApplyStallAndRepair(t *testing.T) {
+	net := topology.NewRing(4, false)
+	s := sim.New(net, sim.Config{})
+	s.MustAdd(sim.MessageSpec{Src: 0, Dst: 2, Length: 2, Path: []topology.ChannelID{0, 1}})
+
+	Event{At: 0, Kind: LinkStall, Channel: 1, Repair: 3}.Apply(s)
+	if !s.ChannelDown(1) {
+		t.Fatal("channel 1 should be down after the stall event")
+	}
+	for s.Now() < 3 {
+		s.Step()
+	}
+	if s.ChannelDown(1) {
+		t.Fatalf("channel 1 still down at cycle %d; repair was due at 3", s.Now())
+	}
+
+	Event{At: 3, Kind: RouterFail, Node: 3, Repair: 5}.Apply(s)
+	for _, c := range net.In(3) {
+		if !s.ChannelDown(c) {
+			t.Errorf("in-channel %d of failed router still up", c)
+		}
+	}
+	for _, c := range net.Out(3) {
+		if !s.ChannelDown(c) {
+			t.Errorf("out-channel %d of failed router still up", c)
+		}
+	}
+}

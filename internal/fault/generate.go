@@ -1,0 +1,79 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/topology"
+)
+
+// GenParams parameterises random schedule generation. All randomness comes
+// from Seed, so a (network, params) pair always yields the same schedule —
+// campaigns are replayable by construction.
+type GenParams struct {
+	// Seed drives the generator's PRNG.
+	Seed int64
+	// Horizon is the last cycle (exclusive) at which a fault may strike.
+	Horizon int
+	// MTBF is the mean number of cycles between successive faults on one
+	// channel (exponential inter-arrival). Larger is healthier.
+	MTBF float64
+	// MeanRepair is the mean outage length of a transient fault, in cycles
+	// (exponential, floored at 1).
+	MeanRepair float64
+	// PermanentFraction of channel faults are permanent failures instead of
+	// transient stalls, in [0,1].
+	PermanentFraction float64
+	// RouterFraction of fault arrivals strike the channel's source router
+	// (downing all its incident channels) instead of the channel alone,
+	// in [0,1].
+	RouterFraction float64
+}
+
+// Generate draws a deterministic fault schedule for the network. Each
+// channel suffers faults as a Poisson process with mean inter-arrival MTBF;
+// an arrival becomes, in order of precedence, a router failure (probability
+// RouterFraction, victim = the channel's source node), a permanent link
+// failure (probability PermanentFraction), or a transient stall with an
+// exponential repair time of mean MeanRepair. Channels are visited in ID
+// order off a single PRNG stream, so the schedule is a pure function of
+// (network shape, params).
+func Generate(net *topology.Network, p GenParams) (Schedule, error) {
+	if p.Horizon <= 0 {
+		return Schedule{}, fmt.Errorf("fault: generate: horizon must be positive, got %d", p.Horizon)
+	}
+	if p.MTBF <= 0 {
+		return Schedule{}, fmt.Errorf("fault: generate: MTBF must be positive, got %g", p.MTBF)
+	}
+	if p.MeanRepair <= 0 {
+		p.MeanRepair = 1
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	var sch Schedule
+	for c := 0; c < net.NumChannels(); c++ {
+		at := 0
+		for {
+			at += 1 + int(rng.ExpFloat64()*p.MTBF)
+			if at >= p.Horizon {
+				break
+			}
+			e := Event{At: at, Channel: topology.ChannelID(c)}
+			switch {
+			case rng.Float64() < p.RouterFraction:
+				e.Kind = RouterFail
+				e.Node = net.Channel(topology.ChannelID(c)).Src
+				e.Repair = 1 + int(rng.ExpFloat64()*p.MeanRepair)
+			case rng.Float64() < p.PermanentFraction:
+				e.Kind = LinkFail
+			default:
+				e.Kind = LinkStall
+				e.Repair = 1 + int(rng.ExpFloat64()*p.MeanRepair)
+			}
+			sch.Events = append(sch.Events, e)
+			if e.Kind == LinkFail {
+				break // channel is gone for good; no further arrivals
+			}
+		}
+	}
+	return sch.Sorted(), nil
+}

@@ -1,0 +1,118 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Policy selects what the watchdog does to a message it decides to
+// intervene on.
+type Policy int
+
+const (
+	// AbortRetry kills the victim worm, drains its buffers, and reinjects
+	// it after an exponential backoff — the classic wormhole recovery
+	// (Kim/Liu/Chien-style compressionless flavour) and the policy that
+	// restores 100% delivery when the network heals.
+	AbortRetry Policy = iota
+	// Drop removes the victim permanently and counts the loss: graceful
+	// degradation for networks that tolerate message loss.
+	Drop
+	// Reroute re-plans the victim's path on the degraded topology before
+	// reinjecting it: oblivious messages get a BFS detour over live
+	// channels, adaptive messages simply benefit from the engine masking
+	// dead candidates. Falls back to Drop when the destination is
+	// unreachable, and to plain abort-retry when no detour is needed.
+	Reroute
+)
+
+// String renders the policy using its flag spelling.
+func (p Policy) String() string {
+	switch p {
+	case AbortRetry:
+		return "abort-retry"
+	case Drop:
+		return "drop"
+	case Reroute:
+		return "reroute"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy reads a policy name as accepted on the command line.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "abort-retry", "abortretry", "retry":
+		return AbortRetry, nil
+	case "drop":
+		return Drop, nil
+	case "reroute":
+		return Reroute, nil
+	}
+	return 0, fmt.Errorf("fault: unknown recovery policy %q (want abort-retry, drop, reroute)", s)
+}
+
+// Watchdog configures deadlock detection. Two detectors run together:
+//
+//   - The exact detector: waitfor.Find locates a Definition 6 cycle in the
+//     wait-for graph. Sound and complete on its own terms, but a cycle that
+//     exists only because a channel is transiently down is not a true
+//     deadlock — it dissolves when the repair lands — so the runner only
+//     trusts it once the cycle has outlived every pending repair.
+//   - The timeout heuristic: any message that has made no progress for
+//     Timeout cycles and is not excused (frozen, or stalled behind a known
+//     transient fault) is treated as deadlocked. This is the detector real
+//     routers ship, and the only one that works when faults keep the
+//     network from ever reaching exact stability.
+type Watchdog struct {
+	// CheckEvery is the sweep period in cycles.
+	CheckEvery int
+	// Timeout is the no-progress age, in cycles, after which a message
+	// becomes eligible for intervention.
+	Timeout int
+}
+
+// DefaultWatchdog returns the standard watchdog tuning: sweep every 8
+// cycles, suspect after 128 cycles without progress.
+func DefaultWatchdog() Watchdog { return Watchdog{CheckEvery: 8, Timeout: 128} }
+
+// RecoveryConfig configures the runner's recovery layer.
+type RecoveryConfig struct {
+	Policy   Policy
+	Watchdog Watchdog
+	// BackoffBase is the first abort-retry reinjection delay in cycles;
+	// each further retry of the same message doubles it up to BackoffMax.
+	// Exponential backoff breaks the symmetry that would otherwise rebuild
+	// the same deadlock out of the same worms.
+	BackoffBase int
+	BackoffMax  int
+	// MaxRetries bounds abort-retry attempts per message; once exceeded the
+	// message is dropped instead. <= 0 means unlimited.
+	MaxRetries int
+}
+
+// DefaultRecovery returns the standard recovery tuning for the policy.
+func DefaultRecovery(p Policy) RecoveryConfig {
+	return RecoveryConfig{
+		Policy:      p,
+		Watchdog:    DefaultWatchdog(),
+		BackoffBase: 8,
+		BackoffMax:  256,
+		MaxRetries:  0,
+	}
+}
+
+func (rc *RecoveryConfig) normalize() {
+	if rc.Watchdog.CheckEvery <= 0 {
+		rc.Watchdog.CheckEvery = 8
+	}
+	if rc.Watchdog.Timeout <= 0 {
+		rc.Watchdog.Timeout = 128
+	}
+	if rc.BackoffBase <= 0 {
+		rc.BackoffBase = 8
+	}
+	if rc.BackoffMax < rc.BackoffBase {
+		rc.BackoffMax = rc.BackoffBase
+	}
+}

@@ -1,0 +1,368 @@
+package fault
+
+import (
+	"sort"
+
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/waitfor"
+)
+
+// Report is the outcome of a fault-injected, recovery-supervised run.
+type Report struct {
+	Outcome sim.Outcome `json:"-"`
+	Result  string      `json:"result"`
+	Cycles  int         `json:"cycles"`
+	Stats   sim.Stats   `json:"stats"`
+
+	FaultsInjected int `json:"faults_injected"`
+	// Interventions counts watchdog actions of any kind.
+	Interventions int `json:"interventions"`
+	AbortRetries  int `json:"abort_retries"`
+	Drops         int `json:"drops"`
+	Reroutes      int `json:"reroutes"`
+	// DeadlocksDetected counts exact Definition 6 cycle detections;
+	// TimeoutSuspicions counts interventions triggered by the no-progress
+	// heuristic (including forced sweeps on quiescent stuck states).
+	DeadlocksDetected int `json:"deadlocks_detected"`
+	TimeoutSuspicions int `json:"timeout_suspicions"`
+	// MeanRecoveryLatency is the mean, over messages that needed at least
+	// one intervention and were eventually delivered, of the cycles from
+	// first intervention to delivery. 0 when no such message exists.
+	MeanRecoveryLatency float64 `json:"mean_recovery_latency"`
+}
+
+// Runner drives a simulation under a fault schedule with a recovery layer:
+// each cycle it applies due fault events, steps the engine, and
+// periodically runs the watchdog, intervening on deadlocked or hopelessly
+// stalled messages according to the configured policy.
+type Runner struct {
+	Sim      *sim.Sim
+	Schedule Schedule
+	Recovery RecoveryConfig
+	// Alg, when set, lets the reroute policy prefer the algorithm's own
+	// path for fault-bystander messages; nil falls back to plain BFS over
+	// live channels.
+	Alg routing.Algorithm
+}
+
+// Run executes up to maxCycles cycles and reports. The loop guarantees
+// progress: a quiescent non-terminal state (an exact deadlock certificate)
+// forces an immediate watchdog sweep, and every sweep either resets a
+// message (making the state non-quiescent) or drops one (shrinking the
+// non-terminal set), so the run always ends in a terminal state or the
+// cycle budget.
+func (r *Runner) Run(maxCycles int) Report {
+	r.Recovery.normalize()
+	s := r.Sim
+	events := r.Schedule.Sorted().Events
+	evIdx := 0
+
+	rep := Report{}
+	n := s.NumMessages()
+	// progress[id] is a signature of everything a message's forward motion
+	// changes; stamp[id] the last cycle it changed (or the message was
+	// excused from aging: frozen, not yet due, or stalled on a transient
+	// fault).
+	progress := make([]int, n)
+	stamp := make([]int, n)
+	recoveryStart := make([]int, n)
+	for i := range recoveryStart {
+		recoveryStart[i] = -1
+		progress[i] = r.signature(i)
+	}
+	lastSweep := -1
+
+	for c := 0; c < maxCycles; c++ {
+		now := s.Now()
+		for evIdx < len(events) && events[evIdx].At <= now {
+			events[evIdx].Apply(s)
+			rep.FaultsInjected++
+			evIdx++
+		}
+		if s.AllTerminal() {
+			break
+		}
+		s.Step()
+		now = s.Now()
+
+		for id := 0; id < n; id++ {
+			mv := s.Message(id)
+			if mv.Delivered || mv.Dropped {
+				continue
+			}
+			sig := r.signature(id)
+			if sig != progress[id] || mv.Frozen > 0 || now <= mv.Spec.InjectAt {
+				progress[id] = sig
+				stamp[id] = now
+				continue
+			}
+			if at, blocked := s.FaultBlocked(id); blocked && at != sim.DownForever {
+				// Stalled behind a transient fault: the repair, not the
+				// watchdog, is the cure. Don't let the stall age the message
+				// toward a timeout intervention.
+				stamp[id] = now
+			}
+		}
+
+		forced := !s.AllTerminal() && s.Quiescent()
+		if !forced && now-lastSweep < r.Recovery.Watchdog.CheckEvery {
+			continue
+		}
+		lastSweep = now
+		r.sweep(&rep, stamp, recoveryStart, forced)
+	}
+
+	rep.Outcome = r.finalOutcome()
+	rep.Result = rep.Outcome.Result.String()
+	rep.Cycles = rep.Outcome.Cycles
+	rep.Stats = sim.Collect(s)
+	rep.MeanRecoveryLatency = meanRecoveryLatency(s, recoveryStart)
+	return rep
+}
+
+// signature condenses a message's forward motion into one comparable int.
+// Injection, consumption and (for adaptive messages) route growth all move
+// it; a reset changes it too, restarting the stall clock.
+func (r *Runner) signature(id int) int {
+	mv := r.Sim.Message(id)
+	sig := mv.Injected*3 + mv.Consumed*5 + len(mv.Path) + mv.Retries*7
+	if mv.HeaderConsumed {
+		sig++
+	}
+	return sig
+}
+
+// sweep runs one watchdog pass and intervenes on at most one victim — a
+// single victim per sweep avoids the thundering herd of simultaneous
+// reinjections rebuilding the deadlock it just broke.
+func (r *Runner) sweep(rep *Report, stamp, recoveryStart []int, forced bool) {
+	s := r.Sim
+	now := s.Now()
+
+	// Exact detector first: a Definition 6 cycle among oblivious messages
+	// is a proof of deadlock — no repair can dissolve a closed cycle of
+	// waits on owned channels. (A cycle with adaptive members may still
+	// dissolve when a bystander frees an alternative candidate, so it is
+	// only trusted when the state is quiescent.)
+	if d := waitfor.Find(s); d != nil && (forced || r.cycleCertain(d)) {
+		rep.DeadlocksDetected++
+		r.intervene(rep, recoveryStart, r.youngest(d.Cycle), now)
+		return
+	}
+
+	// Timeout heuristic: pick the longest-stalled eligible message.
+	// Messages stalled behind a permanent fault are eligible without
+	// waiting out the timeout — no amount of patience repairs DownForever.
+	victim, victimStamp := -1, 0
+	for id := 0; id < len(stamp); id++ {
+		mv := s.Message(id)
+		if mv.Delivered || mv.Dropped || mv.Frozen > 0 {
+			continue
+		}
+		age := now - stamp[id]
+		eligible := age >= r.Recovery.Watchdog.Timeout || forced
+		if !eligible {
+			if at, blocked := s.FaultBlocked(id); blocked && at == sim.DownForever {
+				eligible = true
+			}
+		}
+		if !eligible {
+			continue
+		}
+		if victim == -1 || stamp[id] < victimStamp {
+			victim, victimStamp = id, stamp[id]
+		}
+	}
+	if victim >= 0 {
+		rep.TimeoutSuspicions++
+		r.intervene(rep, recoveryStart, victim, now)
+	}
+}
+
+// cycleCertain reports whether every member of the cycle routes
+// obliviously, making the Definition 6 cycle a permanent deadlock.
+func (r *Runner) cycleCertain(d *waitfor.Deadlock) bool {
+	for _, id := range d.Cycle {
+		if r.Sim.IsAdaptive(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// youngest picks the victim from a deadlock cycle: the member injected
+// last (ties to the highest ID). Killing the youngest preserves the most
+// progress and is the paper-adjacent convention for abort-and-retry.
+func (r *Runner) youngest(cycle []int) int {
+	best := cycle[0]
+	bestAt := r.Sim.Message(best).InjectedAt
+	for _, id := range cycle[1:] {
+		at := r.Sim.Message(id).InjectedAt
+		if at > bestAt || (at == bestAt && id > best) {
+			best, bestAt = id, at
+		}
+	}
+	return best
+}
+
+// intervene applies the configured policy to the victim.
+func (r *Runner) intervene(rep *Report, recoveryStart []int, id, now int) {
+	s := r.Sim
+	rep.Interventions++
+	if recoveryStart[id] < 0 {
+		recoveryStart[id] = now
+	}
+
+	drop := func() {
+		s.DropMessage(id)
+		rep.Drops++
+	}
+
+	switch r.Recovery.Policy {
+	case Drop:
+		drop()
+		return
+	case AbortRetry:
+		if r.hopeless(id) || r.retriesExhausted(id) {
+			drop()
+			return
+		}
+		s.ResetMessage(id, now+1+r.backoff(id))
+		rep.AbortRetries++
+	case Reroute:
+		if r.retriesExhausted(id) {
+			drop()
+			return
+		}
+		mv := s.Message(id)
+		if s.IsAdaptive(mv.ID) {
+			// The engine already masks dead candidates for adaptive
+			// messages; a reset from the source is the whole reroute.
+			if r.hopeless(id) {
+				drop()
+				return
+			}
+			s.ResetMessage(id, now+1+r.backoff(id))
+			rep.Reroutes++
+			return
+		}
+		down := func(c topology.ChannelID) bool { return s.ChannelDown(c) }
+		var path []topology.ChannelID
+		if r.Alg != nil {
+			path = routing.Reroute(r.Alg, down, mv.Spec.Src, mv.Spec.Dst)
+		} else {
+			path = topology.Degraded{Net: s.Network(), Down: down}.ShortestPath(mv.Spec.Src, mv.Spec.Dst)
+		}
+		if path == nil {
+			// Unreachable right now. If only transient faults separate the
+			// endpoints a retry on the old path can still win; otherwise the
+			// message is lost.
+			if r.hopeless(id) {
+				drop()
+				return
+			}
+			s.ResetMessage(id, now+1+r.backoff(id))
+			rep.AbortRetries++
+			return
+		}
+		s.ResetMessage(id, now+1+r.backoff(id))
+		if err := s.SetMessagePath(id, path); err != nil {
+			// The old path stands; the retry alone may still succeed.
+			rep.AbortRetries++
+			return
+		}
+		rep.Reroutes++
+	}
+}
+
+// hopeless reports whether no retry can ever deliver the message: for an
+// oblivious message, its current path crosses a permanently failed channel
+// (reroute can still save it — abort-retry cannot); for an adaptive one,
+// the destination is unreachable over channels that are not permanently
+// dead.
+func (r *Runner) hopeless(id int) bool {
+	s := r.Sim
+	mv := s.Message(id)
+	perm := func(c topology.ChannelID) bool { return s.DownUntil(c) == sim.DownForever }
+	if !s.IsAdaptive(id) {
+		if r.Recovery.Policy == AbortRetry {
+			for _, c := range mv.Path {
+				if perm(c) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return !(topology.Degraded{Net: s.Network(), Down: perm}).Reaches(mv.Spec.Src, mv.Spec.Dst)
+}
+
+// retriesExhausted reports whether the victim has used up its retry budget.
+func (r *Runner) retriesExhausted(id int) bool {
+	return r.Recovery.MaxRetries > 0 && r.Sim.Retries(id) >= r.Recovery.MaxRetries
+}
+
+// backoff returns the reinjection delay for the victim's next retry:
+// BackoffBase doubled per prior retry, capped at BackoffMax. The growing,
+// per-message delays desynchronise the reinjections of repeat offenders.
+func (r *Runner) backoff(id int) int {
+	b := r.Recovery.BackoffBase
+	for i := 0; i < r.Sim.Retries(id); i++ {
+		b *= 2
+		if b >= r.Recovery.BackoffMax {
+			return r.Recovery.BackoffMax
+		}
+	}
+	return b
+}
+
+// finalOutcome classifies the end state the way sim.Run would.
+func (r *Runner) finalOutcome() sim.Outcome {
+	s := r.Sim
+	var undelivered, dropped []int
+	for id := 0; id < s.NumMessages(); id++ {
+		mv := s.Message(id)
+		if mv.Dropped {
+			dropped = append(dropped, id)
+		} else if !mv.Delivered {
+			undelivered = append(undelivered, id)
+		}
+	}
+	sort.Ints(undelivered)
+	sort.Ints(dropped)
+	out := sim.Outcome{Cycles: s.Now(), Undelivered: undelivered, Dropped: dropped}
+	switch {
+	case len(undelivered) > 0 && s.Quiescent():
+		out.Result = sim.ResultDeadlock
+	case len(undelivered) > 0:
+		out.Result = sim.ResultTimeout
+	case len(dropped) > 0:
+		out.Result = sim.ResultDegraded
+	default:
+		out.Result = sim.ResultDelivered
+	}
+	return out
+}
+
+// meanRecoveryLatency averages first-intervention-to-delivery over messages
+// that were intervened on and still delivered.
+func meanRecoveryLatency(s *sim.Sim, recoveryStart []int) float64 {
+	total, count := 0, 0
+	for id, start := range recoveryStart {
+		if start < 0 {
+			continue
+		}
+		mv := s.Message(id)
+		if !mv.Delivered {
+			continue
+		}
+		total += mv.DeliveredAt - start
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(total) / float64(count)
+}

@@ -1,0 +1,26 @@
+package routing
+
+import "repro/internal/topology"
+
+// Reroute computes a replacement oblivious path for (src, dst) on a
+// degraded network. It prefers the algorithm's own path when every channel
+// on it is live (the message was a bystander of the fault and keeps its
+// designed route, preserving whatever structural properties the algorithm
+// guarantees); otherwise it falls back to a BFS shortest path over live
+// channels only. It returns nil when dst is unreachable on the degraded
+// graph — the caller must then drop or park the message until a repair.
+func Reroute(alg Algorithm, down func(topology.ChannelID) bool, src, dst topology.NodeID) []topology.ChannelID {
+	if p := alg.Path(src, dst); p != nil {
+		live := true
+		for _, c := range p {
+			if down != nil && down(c) {
+				live = false
+				break
+			}
+		}
+		if live {
+			return p
+		}
+	}
+	return topology.Degraded{Net: alg.Network(), Down: down}.ShortestPath(src, dst)
+}

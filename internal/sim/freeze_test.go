@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// A freeze applied while a message is mid-injection (some flits in the
+// network, some still at the source) must halt injection and consumption
+// alike, then let the message resume and deliver.
+func TestSetFrozenMidInjection(t *testing.T) {
+	net := topology.NewRing(4, false)
+	s := New(net, Config{})
+	id := s.MustAdd(MessageSpec{Src: 0, Dst: 2, Length: 5, Path: []topology.ChannelID{0, 1}})
+
+	// Advance until the message is partially injected.
+	for s.Message(id).Injected == 0 || s.Message(id).Injected == 5 {
+		s.Step()
+		if s.Now() > 20 {
+			t.Fatal("message never reached a mid-injection state")
+		}
+	}
+	before := s.Message(id)
+	if before.Injected >= 5 {
+		t.Fatalf("injected = %d; want mid-injection", before.Injected)
+	}
+
+	const freeze = 4
+	s.SetFrozen(id, freeze)
+	for i := 0; i < freeze; i++ {
+		s.Step()
+		mv := s.Message(id)
+		if mv.Injected != before.Injected || mv.Consumed != before.Consumed {
+			t.Fatalf("frozen message moved at cycle %d: injected %d->%d, consumed %d->%d",
+				s.Now(), before.Injected, mv.Injected, before.Consumed, mv.Consumed)
+		}
+	}
+	if got := s.Frozen(id); got != 0 {
+		t.Fatalf("frozen counter = %d after %d cycles; want 0", got, freeze)
+	}
+	out := s.Run(1000)
+	if out.Result != ResultDelivered {
+		t.Fatalf("result = %v; a thawed message must deliver", out.Result)
+	}
+}
+
+// Freezing the last worm in an otherwise drained network must not be
+// misreported as deadlock: the frozen state is externally imposed and
+// finite, so Run must wait it out and finish with full delivery.
+func TestFreezeLastWormInDrainedNetwork(t *testing.T) {
+	net := topology.NewRing(4, false)
+	s := New(net, Config{})
+	fast := s.MustAdd(MessageSpec{Src: 0, Dst: 1, Length: 1, Path: []topology.ChannelID{0}})
+	slow := s.MustAdd(MessageSpec{Src: 2, Dst: 0, Length: 3, Path: []topology.ChannelID{2, 3}, InjectAt: 0})
+
+	for !s.Message(fast).Delivered {
+		s.Step()
+	}
+	if s.Message(slow).Delivered {
+		t.Fatal("fixture broken: slow message finished with the fast one")
+	}
+	// The slow worm is now alone in the network. Freeze it: the network is
+	// fully stalled, but not deadlocked.
+	s.SetFrozen(slow, 50)
+	s.Step()
+	if s.Quiescent() {
+		t.Fatal("a frozen message must block the quiescence certificate")
+	}
+	out := s.Run(1000)
+	if out.Result != ResultDelivered {
+		t.Fatalf("result = %v (undelivered %v); a finite freeze is not a deadlock", out.Result, out.Undelivered)
+	}
+}
+
+// Clone and Encode must round-trip channel-fault and drop state: clones
+// behave identically, encodings agree, and the fault section is
+// time-relative so equal remaining outages encode equally at different
+// absolute cycles.
+func TestCloneEncodeFaultState(t *testing.T) {
+	mk := func() *Sim {
+		net := topology.NewRing(4, false)
+		s := New(net, Config{})
+		s.MustAdd(MessageSpec{Src: 0, Dst: 2, Length: 2, Path: []topology.ChannelID{0, 1}})
+		s.MustAdd(MessageSpec{Src: 1, Dst: 3, Length: 2, Path: []topology.ChannelID{1, 2}})
+		return s
+	}
+
+	s := mk()
+	s.SetChannelDown(2, 10) // transient: 10 cycles remaining
+	s.FailChannel(3)        // permanent
+	s.DropMessage(1)
+
+	enc := s.Encode()
+	if !strings.Contains(enc, "D") {
+		t.Fatalf("encoding %q lacks the dropped flag", enc)
+	}
+	if !strings.Contains(enc, "X3:P;") {
+		t.Fatalf("encoding %q lacks the permanent-fault section", enc)
+	}
+	if !strings.Contains(enc, "X2:10;") {
+		t.Fatalf("encoding %q lacks the transient-fault section", enc)
+	}
+
+	c := s.Clone()
+	if c.Encode() != enc {
+		t.Fatalf("clone encodes differently:\n%q\n%q", c.Encode(), enc)
+	}
+	// Clone independence: repairing the clone's channel must not leak back.
+	c.RepairChannel(2)
+	if !s.ChannelDown(2) {
+		t.Fatal("repairing the clone repaired the original")
+	}
+
+	// Clones behave identically: run both (fresh clone) to completion.
+	s2 := s.Clone()
+	out1, out2 := s.Run(1000), s2.Run(1000)
+	if out1.Result != out2.Result || out1.Cycles != out2.Cycles {
+		t.Fatalf("clone diverged: %+v vs %+v", out1, out2)
+	}
+
+	// Time-relativity: a sim that downs the same channel later, for the
+	// same remaining outage, encodes identically (messages held so nothing
+	// else changes).
+	a, b := mk(), mk()
+	a.SetHeld(0, true)
+	a.SetHeld(1, true)
+	b.SetHeld(0, true)
+	b.SetHeld(1, true)
+	a.SetChannelDown(2, a.Now()+5)
+	for i := 0; i < 3; i++ {
+		b.Step()
+	}
+	b.SetChannelDown(2, b.Now()+5)
+	if a.Encode() != b.Encode() {
+		t.Fatalf("equal remaining outage encodes unequally:\n%q\n%q", a.Encode(), b.Encode())
+	}
+}
+
+// A down channel blocks injection entirely: the header may not enter a
+// dead channel, and the message resumes when the repair lands.
+func TestInjectionBlockedByDownChannel(t *testing.T) {
+	net := topology.NewRing(4, false)
+	s := New(net, Config{})
+	id := s.MustAdd(MessageSpec{Src: 0, Dst: 2, Length: 2, Path: []topology.ChannelID{0, 1}})
+	s.SetChannelDown(0, 5)
+	if at, blocked := s.FaultBlocked(id); !blocked || at != 5 {
+		t.Fatalf("FaultBlocked = (%d, %v); want (5, true)", at, blocked)
+	}
+	for i := 0; i < 5; i++ {
+		s.Step()
+		if s.Message(id).Injected != 0 {
+			t.Fatalf("message injected into a down channel at cycle %d", s.Now())
+		}
+	}
+	out := s.Run(1000)
+	if out.Result != ResultDelivered {
+		t.Fatalf("result = %v; want delivered after repair", out.Result)
+	}
+}
+
+// A pending transient repair must block the quiescence certificate — the
+// repair can restart the network — while a permanent failure must not.
+func TestQuiescenceVsPendingRepair(t *testing.T) {
+	net := topology.NewRing(4, false)
+	s := New(net, Config{})
+	s.MustAdd(MessageSpec{Src: 0, Dst: 2, Length: 2, Path: []topology.ChannelID{0, 1}})
+	s.SetChannelDown(1, 50)
+	s.Step()
+	for s.Message(0).Injected == 0 && s.Now() < 10 {
+		s.Step()
+	}
+	s.Step() // settle: header now stalled at the down channel
+	if s.Quiescent() {
+		t.Fatal("pending repair should block quiescence")
+	}
+
+	s2 := New(topology.NewRing(4, false), Config{})
+	s2.MustAdd(MessageSpec{Src: 0, Dst: 2, Length: 2, Path: []topology.ChannelID{0, 1}})
+	s2.FailChannel(1)
+	out := s2.Run(1000)
+	if out.Result != ResultDeadlock {
+		t.Fatalf("result = %v; a permanent failure with a stuck worm is a dead state", out.Result)
+	}
+}

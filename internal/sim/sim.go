@@ -29,18 +29,27 @@
 //
 // The simulator supports the paper's Section 6 fault model via per-message
 // freeze counters (a frozen message does not move even when its output
-// channel is free), and exposes Clone, Encode, explicit arbitration picks
+// channel is free) and via per-channel fault state (a down channel accepts
+// no new worm and transfers no flits until its repair cycle, if any; see
+// SetChannelDown). It exposes Clone, Encode, explicit arbitration picks
 // and adaptive selection masks so the mcheck package can use it as the
-// transition function of an exact state-space search.
+// transition function of an exact state-space search, and message-level
+// recovery primitives (DropMessage, ResetMessage, SetMessagePath) used by
+// the internal/fault recovery policies.
 package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
 	"repro/internal/topology"
 )
+
+// DownForever is the repair cycle of a permanently failed channel: it never
+// becomes usable again.
+const DownForever = math.MaxInt
 
 // RouteFunc supplies the candidate output channels for an adaptive
 // message at node at (arrived on channel in, topology.None at the source)
@@ -84,11 +93,23 @@ type message struct {
 
 	injectedAt  int // cycle the header entered the network, -1 before
 	deliveredAt int // cycle the tail was consumed, -1 before
+
+	// dropped marks a message removed from the network by a recovery
+	// policy: it holds no channels, never moves again, and counts as
+	// terminal (but not delivered) for Run.
+	dropped bool
+	// retries counts how many times a recovery policy reset the message
+	// back to its source (ResetMessage).
+	retries int
 }
 
 func (m *message) adaptive() bool { return m.spec.Route != nil }
 
 func (m *message) delivered() bool { return m.consumed == m.spec.Length }
+
+// terminal reports whether the message will never move again by design:
+// fully consumed, or removed by a drop recovery.
+func (m *message) terminal() bool { return m.delivered() || m.dropped }
 
 func (m *message) inNetwork() bool { return m.injected > m.consumed }
 
@@ -131,12 +152,22 @@ type Sim struct {
 	now   int
 	msgs  []*message
 	owner []int // channel -> message id, -1 when free
+	// downUntil[c] is the cycle at which channel c becomes usable again:
+	// the channel is down while downUntil[c] > now (DownForever = never
+	// repaired). A down channel transfers no flits and accepts no header.
+	downUntil []int
 	// waitingSince[msg] is the cycle the message's header began waiting
 	// for its next channel, -1 when not waiting; drives FIFO arbitration.
 	waitingSince []int
 
 	// perCycleMoved reports whether the last Step moved any flit.
 	lastMoved bool
+	// lastThawed reports whether the last Step decremented any freeze
+	// counter. A countdown is a state change even when no flit moves: the
+	// cycle a freeze expires must not satisfy the quiescence certificate,
+	// or a frozen-but-otherwise-idle network would be misreported as
+	// deadlocked one cycle early.
+	lastThawed bool
 }
 
 // New returns an empty simulator for net.
@@ -151,7 +182,7 @@ func New(net *topology.Network, cfg Config) *Sim {
 	for i := range owner {
 		owner[i] = -1
 	}
-	return &Sim{net: net, cfg: cfg, owner: owner}
+	return &Sim{net: net, cfg: cfg, owner: owner, downUntil: make([]int, net.NumChannels())}
 }
 
 // Add validates and registers a message, returning its ID (dense from 0 in
@@ -225,6 +256,139 @@ func (s *Sim) SetFrozen(id, n int) { s.msgs[id].frozen = n }
 
 // Frozen returns the remaining frozen cycles of message id.
 func (s *Sim) Frozen(id int) int { return s.msgs[id].frozen }
+
+// SetChannelDown marks channel c faulty until the given cycle: while
+// now < until the channel transfers no flits (in or out, including
+// consumption at a destination) and no header may acquire it. Flits already
+// buffered in the channel stay in place and the owning message keeps its
+// ownership — a fault stalls a worm, it does not corrupt it. Pass
+// DownForever for a permanent link failure, or until <= Now() to repair.
+func (s *Sim) SetChannelDown(c topology.ChannelID, until int) {
+	s.downUntil[c] = until
+}
+
+// FailChannel permanently fails channel c (SetChannelDown with DownForever).
+func (s *Sim) FailChannel(c topology.ChannelID) { s.SetChannelDown(c, DownForever) }
+
+// RepairChannel returns channel c to service immediately.
+func (s *Sim) RepairChannel(c topology.ChannelID) { s.SetChannelDown(c, 0) }
+
+// FailRouter downs every channel incident to node n (incoming and outgoing)
+// until the given cycle, modeling a router failure that severs the whole
+// switch rather than a single link.
+func (s *Sim) FailRouter(n topology.NodeID, until int) {
+	for _, c := range s.net.Out(n) {
+		s.SetChannelDown(c, until)
+	}
+	for _, c := range s.net.In(n) {
+		s.SetChannelDown(c, until)
+	}
+}
+
+// ChannelDown reports whether channel c is currently faulty.
+func (s *Sim) ChannelDown(c topology.ChannelID) bool { return s.downUntil[c] > s.now }
+
+// DownUntil returns the cycle channel c repairs at (DownForever when the
+// failure is permanent); values <= Now() mean the channel is in service.
+func (s *Sim) DownUntil(c topology.ChannelID) int { return s.downUntil[c] }
+
+// down is ChannelDown on the hot path.
+func (s *Sim) down(c topology.ChannelID) bool { return s.downUntil[c] > s.now }
+
+// DropMessage removes message id from the network for good: every channel
+// it holds is released, buffered flits are discarded, and the message is
+// marked dropped — a terminal state Run counts separately from delivery.
+// Dropping a delivered message is a no-op.
+func (s *Sim) DropMessage(id int) {
+	m := s.msgs[id]
+	if m.delivered() || m.dropped {
+		return
+	}
+	s.clearFromNetwork(m)
+	m.dropped = true
+	s.waitingSince[id] = -1
+}
+
+// ResetMessage aborts message id and re-arms its source: held channels are
+// released, buffered and consumed flits are discarded, and the source will
+// attempt to inject the whole message again from cycle reinjectAt. The
+// message's retry counter increments. Adaptive messages forget their
+// materialized route and re-route from scratch. Resetting a delivered or
+// dropped message is a no-op.
+func (s *Sim) ResetMessage(id, reinjectAt int) {
+	m := s.msgs[id]
+	if m.terminal() {
+		return
+	}
+	s.clearFromNetwork(m)
+	if reinjectAt < 0 {
+		reinjectAt = 0
+	}
+	m.spec.InjectAt = reinjectAt
+	m.retries++
+	s.waitingSince[id] = -1
+}
+
+// SetMessagePath replaces the path of an oblivious message that is not in
+// the network (never injected, or just reset). The recovery layer uses it
+// to re-route a message around failed channels.
+func (s *Sim) SetMessagePath(id int, path []topology.ChannelID) error {
+	m := s.msgs[id]
+	if m.adaptive() {
+		return fmt.Errorf("sim: SetMessagePath(%d): message routes adaptively", id)
+	}
+	if m.injected > 0 && !m.terminal() {
+		return fmt.Errorf("sim: SetMessagePath(%d): message is in the network", id)
+	}
+	if len(path) == 0 {
+		return fmt.Errorf("sim: SetMessagePath(%d): empty path", id)
+	}
+	if !s.net.IsPath(m.spec.Src, m.spec.Dst, path) {
+		return fmt.Errorf("sim: SetMessagePath(%d): %v is not a contiguous %d -> %d path",
+			id, path, m.spec.Src, m.spec.Dst)
+	}
+	seen := make(map[topology.ChannelID]bool, len(path))
+	for _, c := range path {
+		if seen[c] {
+			return fmt.Errorf("sim: SetMessagePath(%d): path uses channel %d twice", id, c)
+		}
+		seen[c] = true
+	}
+	m.spec.Path = append([]topology.ChannelID(nil), path...)
+	m.path = append([]topology.ChannelID(nil), path...)
+	m.queued = make([]int, len(path))
+	return nil
+}
+
+// Retries returns how many times message id was reset by recovery.
+func (s *Sim) Retries(id int) int { return s.msgs[id].retries }
+
+// Dropped reports whether message id was removed by a drop recovery.
+func (s *Sim) Dropped(id int) bool { return s.msgs[id].dropped }
+
+// clearFromNetwork releases every channel message m owns and zeroes its
+// in-flight state, as if the worm had never entered the network.
+func (s *Sim) clearFromNetwork(m *message) {
+	for _, c := range m.path {
+		if s.owner[c] == m.id {
+			s.owner[c] = -1
+		}
+	}
+	if m.adaptive() {
+		m.path = nil
+		m.queued = nil
+	} else {
+		for i := range m.queued {
+			m.queued[i] = 0
+		}
+	}
+	m.injected = 0
+	m.consumed = 0
+	m.headerConsumed = false
+	m.injectedAt = -1
+	m.deliveredAt = -1
+	m.mask = topology.None
+}
 
 // SetHeld controls source-side injection: a held message's source does not
 // attempt injection regardless of InjectAt. Holding a message that has
@@ -326,7 +490,7 @@ func (s *Sim) predictReleases() map[topology.ChannelID]bool {
 	}
 	freeing := make(map[topology.ChannelID]bool)
 	for _, m := range s.msgs {
-		if m.delivered() || m.frozen > 0 || m.injected < m.spec.Length {
+		if m.terminal() || m.frozen > 0 || m.injected < m.spec.Length {
 			continue
 		}
 		low := -1
@@ -348,6 +512,9 @@ func (s *Sim) predictReleases() map[topology.ChannelID]bool {
 			if m.queued[i] == 0 {
 				continue
 			}
+			if s.down(m.path[i]) {
+				continue // no flit leaves a dead channel
+			}
 			if i == last {
 				if s.arrived(m) {
 					departs[i] = true // consumption never blocks
@@ -364,6 +531,9 @@ func (s *Sim) predictReleases() map[topology.ChannelID]bool {
 				continue
 			}
 			next := m.path[i+1]
+			if s.down(next) {
+				continue // no flit enters a dead channel
+			}
 			if s.owner[next] != m.id {
 				// Header acquisition: optimistically moves when the
 				// channel is free at the start of the cycle.
@@ -385,12 +555,14 @@ func (s *Sim) predictReleases() map[topology.ChannelID]bool {
 
 // wantedChannels returns the channels the message's header may acquire
 // next, if the message is eligible to request one this cycle (not
-// delivered, not frozen, header not consumed, and — for injection — ready
-// and not held). Oblivious messages want exactly their next path channel;
-// adaptive messages want every usable candidate their route function
-// offers.
+// delivered or dropped, not frozen, header not consumed, and — for
+// injection — ready and not held). Oblivious messages want exactly their
+// next path channel; adaptive messages want every usable candidate their
+// route function offers. Down channels are never wanted: a faulty link
+// accepts no header, and a header sitting in a down channel cannot leave
+// it.
 func (s *Sim) wantedChannels(m *message) []topology.ChannelID {
-	if m.delivered() || m.frozen > 0 || m.headerConsumed {
+	if m.terminal() || m.frozen > 0 || m.headerConsumed {
 		return nil
 	}
 	var at topology.NodeID
@@ -400,6 +572,9 @@ func (s *Sim) wantedChannels(m *message) []topology.ChannelID {
 			return nil
 		}
 		if !m.adaptive() {
+			if s.down(m.path[0]) {
+				return nil
+			}
 			return m.path[:1]
 		}
 		at = m.spec.Src
@@ -408,9 +583,15 @@ func (s *Sim) wantedChannels(m *message) []topology.ChannelID {
 		if h < 0 {
 			return nil
 		}
+		if s.down(m.path[h]) {
+			return nil // the header cannot exit a dead channel
+		}
 		if !m.adaptive() {
 			if h == len(m.path)-1 {
 				return nil // header at the destination channel: consumption
+			}
+			if s.down(m.path[h+1]) {
+				return nil
 			}
 			return m.path[h+1 : h+2]
 		}
@@ -435,6 +616,9 @@ func (s *Sim) adaptiveCandidates(m *message, at topology.NodeID, in topology.Cha
 	for _, c := range raw {
 		if c < 0 || int(c) >= s.net.NumChannels() || s.net.Channel(c).Src != at {
 			continue
+		}
+		if s.down(c) {
+			continue // adaptive routing masks faulty candidates
 		}
 		if m.mask != topology.None && c != m.mask {
 			continue
@@ -572,14 +756,17 @@ func (s *Sim) step(picks map[topology.ChannelID]int) StepResult {
 		// showed the channel owned.
 		s.owner[c] = -1
 	}
+	thawed := false
 	for _, m := range s.msgs {
 		if m.frozen > 0 {
 			m.frozen--
+			thawed = true
 		}
 		m.mask = topology.None
 	}
 	s.now++
 	s.lastMoved = moved
+	s.lastThawed = thawed
 	return StepResult{Moved: moved}
 }
 
@@ -590,7 +777,7 @@ func (s *Sim) step(picks map[topology.ChannelID]int) StepResult {
 // same-cycle handoff a predicted release may not have applied when handoff
 // chains exceed depth one; the acquisition is then skipped).
 func (s *Sim) moveMessage(m *message, granted map[int]topology.ChannelID, release func(topology.ChannelID)) bool {
-	if m.delivered() || m.frozen > 0 {
+	if m.terminal() || m.frozen > 0 {
 		return false
 	}
 	moved := false
@@ -616,6 +803,9 @@ func (s *Sim) moveMessage(m *message, granted map[int]topology.ChannelID, releas
 	for i := h; i >= 0; i-- {
 		if m.queued[i] == 0 {
 			continue
+		}
+		if s.down(m.path[i]) {
+			continue // a dead channel transfers nothing, not even to a sink
 		}
 		if i == last {
 			if s.arrived(m) {
@@ -643,7 +833,7 @@ func (s *Sim) moveMessage(m *message, granted map[int]topology.ChannelID, releas
 		}
 		next := m.path[i+1]
 		if s.owner[next] == m.id {
-			if m.queued[i+1] < s.cfg.BufferDepth {
+			if m.queued[i+1] < s.cfg.BufferDepth && !s.down(next) {
 				m.queued[i]--
 				m.queued[i+1]++
 				moved = true
@@ -677,7 +867,7 @@ func (s *Sim) moveMessage(m *message, granted map[int]topology.ChannelID, releas
 				m.injectedAt = s.now
 				moved = true
 			}
-		} else if first := m.path[0]; s.owner[first] == m.id && m.queued[0] < s.cfg.BufferDepth {
+		} else if first := m.path[0]; s.owner[first] == m.id && m.queued[0] < s.cfg.BufferDepth && !s.down(first) {
 			m.queued[0]++
 			m.injected++
 			moved = true
@@ -706,24 +896,48 @@ func (s *Sim) AllDelivered() bool {
 	return true
 }
 
+// AllTerminal reports whether every message reached a terminal state:
+// delivered, or dropped by a recovery policy.
+func (s *Sim) AllTerminal() bool {
+	for _, m := range s.msgs {
+		if !m.terminal() {
+			return false
+		}
+	}
+	return true
+}
+
 // quiescent reports whether the state can never change again without
 // external intervention: nothing moved last cycle, no message is frozen,
-// none is held, and no injection lies in the future. In a quiescent state
-// with undelivered messages the network is deadlocked.
+// none is held, no injection lies in the future, and no faulted channel is
+// scheduled to repair (a pending repair can unblock a stalled worm; a
+// permanent failure cannot). In a quiescent state with undelivered
+// messages the network is deadlocked.
 func (s *Sim) quiescent() bool {
-	if s.lastMoved {
+	if s.lastMoved || s.lastThawed {
 		return false
 	}
 	for _, m := range s.msgs {
-		if m.delivered() {
+		if m.terminal() {
 			continue
 		}
 		if m.frozen > 0 || m.held || s.now <= m.spec.InjectAt {
 			return false
 		}
 	}
+	for _, until := range s.downUntil {
+		if until > s.now && until != DownForever {
+			return false
+		}
+	}
 	return true
 }
+
+// Quiescent reports whether the simulation provably cannot move again
+// without external intervention (see quiescent); with undelivered,
+// undropped messages present this is an exact deadlock certificate. The
+// fault-recovery watchdog uses it as its exact detection mode.
+func (s *Sim) Quiescent() bool { return s.quiescent() }
 
 // Result classifies the end state of Run.
 type Result int
@@ -736,6 +950,9 @@ const (
 	ResultDeadlock
 	// ResultTimeout: the cycle budget was exhausted first.
 	ResultTimeout
+	// ResultDegraded: every message reached a terminal state, but some
+	// were dropped by a recovery policy rather than delivered.
+	ResultDegraded
 )
 
 // String renders the result.
@@ -747,6 +964,8 @@ func (r Result) String() string {
 		return "deadlock"
 	case ResultTimeout:
 		return "timeout"
+	case ResultDegraded:
+		return "degraded"
 	}
 	return fmt.Sprintf("Result(%d)", int(r))
 }
@@ -756,36 +975,58 @@ type Outcome struct {
 	Result      Result
 	Cycles      int   // cycles executed
 	Undelivered []int // message IDs not delivered (deadlock/timeout)
+	Dropped     []int // message IDs removed by a drop recovery
 }
 
-// Run steps the simulation until every message is delivered, the network
-// deadlocks (a provably stable non-empty state), or maxCycles elapse.
-// Deadlock detection is exact, not timeout-based: the transition function
-// is deterministic once injections are due and freezes expired, so a cycle
-// with no movement proves no movement can ever happen.
+// Run steps the simulation until every message is delivered or dropped,
+// the network deadlocks (a provably stable non-empty state), or maxCycles
+// elapse. Deadlock detection is exact, not timeout-based: the transition
+// function is deterministic once injections are due, freezes expired and
+// channel repairs done, so a cycle with no movement proves no movement can
+// ever happen.
 func (s *Sim) Run(maxCycles int) Outcome {
 	for c := 0; c < maxCycles; c++ {
-		if s.AllDelivered() {
-			return Outcome{Result: ResultDelivered, Cycles: s.now}
+		if s.AllTerminal() {
+			return s.terminalOutcome()
 		}
 		s.Step()
 		if !s.lastMoved && s.quiescent() {
-			if s.AllDelivered() {
-				return Outcome{Result: ResultDelivered, Cycles: s.now}
+			if s.AllTerminal() {
+				return s.terminalOutcome()
 			}
-			return Outcome{Result: ResultDeadlock, Cycles: s.now, Undelivered: s.undelivered()}
+			return Outcome{Result: ResultDeadlock, Cycles: s.now, Undelivered: s.undelivered(), Dropped: s.droppedIDs()}
 		}
 	}
-	if s.AllDelivered() {
+	if s.AllTerminal() {
+		return s.terminalOutcome()
+	}
+	return Outcome{Result: ResultTimeout, Cycles: s.now, Undelivered: s.undelivered(), Dropped: s.droppedIDs()}
+}
+
+// terminalOutcome classifies an all-terminal state: delivered when every
+// message arrived, degraded when drops were needed.
+func (s *Sim) terminalOutcome() Outcome {
+	dropped := s.droppedIDs()
+	if len(dropped) == 0 {
 		return Outcome{Result: ResultDelivered, Cycles: s.now}
 	}
-	return Outcome{Result: ResultTimeout, Cycles: s.now, Undelivered: s.undelivered()}
+	return Outcome{Result: ResultDegraded, Cycles: s.now, Dropped: dropped}
 }
 
 func (s *Sim) undelivered() []int {
 	var ids []int
 	for _, m := range s.msgs {
-		if !m.delivered() {
+		if !m.terminal() {
+			ids = append(ids, m.id)
+		}
+	}
+	return ids
+}
+
+func (s *Sim) droppedIDs() []int {
+	var ids []int
+	for _, m := range s.msgs {
+		if m.dropped {
 			ids = append(ids, m.id)
 		}
 	}
@@ -801,8 +1042,10 @@ func (s *Sim) Clone() *Sim {
 		cfg:          s.cfg,
 		now:          s.now,
 		owner:        append([]int(nil), s.owner...),
+		downUntil:    append([]int(nil), s.downUntil...),
 		waitingSince: append([]int(nil), s.waitingSince...),
 		lastMoved:    s.lastMoved,
+		lastThawed:   s.lastThawed,
 	}
 	c.msgs = make([]*message, len(s.msgs))
 	for i, m := range s.msgs {
@@ -830,6 +1073,9 @@ func (s *Sim) Encode() string {
 		if m.headerConsumed {
 			b.WriteByte('H')
 		}
+		if m.dropped {
+			b.WriteByte('D')
+		}
 		b.WriteByte('[')
 		for _, q := range m.queued {
 			fmt.Fprintf(&b, "%d,", q)
@@ -845,6 +1091,19 @@ func (s *Sim) Encode() string {
 		}
 		b.WriteByte(';')
 	}
+	// Channel fault state, time-relative (remaining outage) so two states
+	// that behave identically going forward encode identically regardless
+	// of absolute cycle.
+	for c, until := range s.downUntil {
+		if until <= s.now {
+			continue
+		}
+		if until == DownForever {
+			fmt.Fprintf(&b, "X%d:P;", c)
+		} else {
+			fmt.Fprintf(&b, "X%d:%d;", c, until-s.now)
+		}
+	}
 	return b.String()
 }
 
@@ -859,6 +1118,8 @@ type MsgView struct {
 	InNetwork      bool
 	Frozen         int
 	Held           bool
+	Dropped        bool  // removed by a drop recovery
+	Retries        int   // times recovery reset the message to its source
 	Queued         []int // copy
 	// Path is the materialized channel sequence (copy): fixed for
 	// oblivious messages, the route chosen so far for adaptive ones.
@@ -880,6 +1141,8 @@ func (s *Sim) Message(id int) MsgView {
 		InNetwork:      m.inNetwork(),
 		Frozen:         m.frozen,
 		Held:           m.held,
+		Dropped:        m.dropped,
+		Retries:        m.retries,
 		Queued:         append([]int(nil), m.queued...),
 		Path:           append([]topology.ChannelID(nil), m.path...),
 		InjectedAt:     m.injectedAt,
@@ -899,7 +1162,7 @@ func (s *Sim) WaitsFor(id int) (ch topology.ChannelID, owner int, ok bool) {
 	// A frozen or held message still "waits" in the Definition 6 sense
 	// only if its next channel is occupied; compute eligibility manually
 	// rather than via wantedChannels (which also filters frozen/held).
-	if m.delivered() || m.headerConsumed {
+	if m.terminal() || m.headerConsumed {
 		return 0, -1, false
 	}
 	var wants []topology.ChannelID
@@ -948,17 +1211,20 @@ func (s *Sim) WaitsFor(id int) (ch topology.ChannelID, owner int, ok bool) {
 // move is a no-op.
 func (s *Sim) CanAdvance(id int) bool {
 	m := s.msgs[id]
-	if m.delivered() || m.frozen > 0 {
+	if m.terminal() || m.frozen > 0 {
 		return false
 	}
 	freeing := s.predictReleases()
 	acquirable := func(c topology.ChannelID) bool {
-		return s.owner[c] == -1 || freeing[c]
+		return (s.owner[c] == -1 || freeing[c]) && !s.down(c)
 	}
 	h := m.headIdx()
 	last := len(m.path) - 1
 	for i := h; i >= 0; i-- {
 		if m.queued[i] == 0 {
+			continue
+		}
+		if s.down(m.path[i]) {
 			continue
 		}
 		if i == last {
@@ -973,7 +1239,7 @@ func (s *Sim) CanAdvance(id int) bool {
 			continue
 		}
 		next := m.path[i+1]
-		if s.owner[next] == m.id && m.queued[i+1] < s.cfg.BufferDepth {
+		if s.owner[next] == m.id && m.queued[i+1] < s.cfg.BufferDepth && !s.down(next) {
 			return true
 		}
 		if i == h && !m.headerConsumed && acquirable(next) {
@@ -987,11 +1253,105 @@ func (s *Sim) CanAdvance(id int) bool {
 					return true
 				}
 			}
-		} else if first := m.path[0]; s.owner[first] == m.id && m.queued[0] < s.cfg.BufferDepth {
+		} else if first := m.path[0]; s.owner[first] == m.id && m.queued[0] < s.cfg.BufferDepth && !s.down(first) {
 			return true
 		}
 	}
 	return false
+}
+
+// FaultBlocked reports whether message id is currently prevented from
+// moving specifically by channel fault state, and if so the earliest cycle
+// at which a scheduled repair could let it move again (DownForever when
+// every blocking channel is permanently failed). A message that can still
+// advance, or that is blocked purely by other messages, reports false. The
+// fault-recovery watchdog uses this to excuse stalls that a pending repair
+// will resolve and to intervene immediately on dead-path starvation.
+func (s *Sim) FaultBlocked(id int) (repairAt int, blocked bool) {
+	m := s.msgs[id]
+	if m.terminal() || m.frozen > 0 || s.CanAdvance(id) {
+		return 0, false
+	}
+	// For each movement the message could make if the involved channels
+	// were live, the move unblocks at the max repair cycle of its down
+	// channels; the message unblocks at the min over moves.
+	earliest := DownForever
+	found := false
+	consider := func(chans ...topology.ChannelID) {
+		at := 0
+		involved := false
+		for _, c := range chans {
+			if s.down(c) {
+				involved = true
+				if s.downUntil[c] > at {
+					at = s.downUntil[c]
+				}
+			}
+		}
+		if involved && at < earliest {
+			earliest = at
+			found = true
+		}
+	}
+	h := m.headIdx()
+	last := len(m.path) - 1
+	for i := h; i >= 0; i-- {
+		if m.queued[i] == 0 {
+			continue
+		}
+		if i == last {
+			if s.arrived(m) {
+				consider(m.path[i]) // consumption blocked by the dead last hop
+			} else if i == h && !m.headerConsumed && m.adaptive() {
+				// Frontier: any free-but-down candidate would do.
+				raw := m.spec.Route(s.net.Channel(m.path[h]).Dst, m.path[h], m.spec.Dst)
+				for _, c := range raw {
+					if c < 0 || int(c) >= s.net.NumChannels() || s.net.Channel(c).Src != s.net.Channel(m.path[h]).Dst {
+						continue
+					}
+					if s.owner[c] == -1 {
+						consider(m.path[i], c)
+					}
+				}
+			}
+			continue
+		}
+		next := m.path[i+1]
+		if s.owner[next] == m.id {
+			if m.queued[i+1] < s.cfg.BufferDepth {
+				consider(m.path[i], next)
+			}
+			continue
+		}
+		if i == h && !m.headerConsumed && s.owner[next] == -1 {
+			consider(m.path[i], next)
+		}
+	}
+	if m.injected < m.spec.Length && !m.held && s.now >= m.spec.InjectAt {
+		if m.injected == 0 {
+			if !m.adaptive() {
+				if s.owner[m.path[0]] == -1 {
+					consider(m.path[0])
+				}
+			} else {
+				raw := m.spec.Route(m.spec.Src, topology.None, m.spec.Dst)
+				for _, c := range raw {
+					if c < 0 || int(c) >= s.net.NumChannels() || s.net.Channel(c).Src != m.spec.Src {
+						continue
+					}
+					if s.owner[c] == -1 {
+						consider(c)
+					}
+				}
+			}
+		} else if s.owner[m.path[0]] == m.id && m.queued[0] < s.cfg.BufferDepth {
+			consider(m.path[0])
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	return earliest, true
 }
 
 // Network returns the simulated network.

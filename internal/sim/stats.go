@@ -1,14 +1,31 @@
 package sim
 
+import "sort"
+
 // Stats aggregates delivery statistics for performance experiments.
 type Stats struct {
 	Messages   int
 	Delivered  int
+	Dropped    int     // messages removed by a drop recovery
+	Retries    int     // total recovery resets across all messages
 	Cycles     int     // current simulation cycle
 	AvgLatency float64 // mean (deliveredAt - injectAt + 1) over delivered messages
 	MaxLatency int
+	// P50/P95/P99 are nearest-rank latency percentiles over delivered
+	// messages (0 when nothing was delivered).
+	P50Latency int
+	P95Latency int
+	P99Latency int
 	FlitsMoved int     // total flits consumed at destinations
 	Throughput float64 // consumed flits per cycle
+}
+
+// DeliveredFraction returns the fraction of messages fully delivered.
+func (st Stats) DeliveredFraction() float64 {
+	if st.Messages == 0 {
+		return 0
+	}
+	return float64(st.Delivered) / float64(st.Messages)
 }
 
 // Collect computes statistics from the simulator's current state. Latency
@@ -17,23 +34,49 @@ type Stats struct {
 func Collect(s *Sim) Stats {
 	st := Stats{Messages: len(s.msgs), Cycles: s.now}
 	totalLatency := 0
+	var latencies []int
 	for _, m := range s.msgs {
 		st.FlitsMoved += m.consumed
+		st.Retries += m.retries
+		if m.dropped {
+			st.Dropped++
+		}
 		if !m.delivered() {
 			continue
 		}
 		st.Delivered++
 		lat := m.deliveredAt - m.injectedAt + 1
 		totalLatency += lat
+		latencies = append(latencies, lat)
 		if lat > st.MaxLatency {
 			st.MaxLatency = lat
 		}
 	}
 	if st.Delivered > 0 {
 		st.AvgLatency = float64(totalLatency) / float64(st.Delivered)
+		sort.Ints(latencies)
+		st.P50Latency = percentile(latencies, 50)
+		st.P95Latency = percentile(latencies, 95)
+		st.P99Latency = percentile(latencies, 99)
 	}
 	if s.now > 0 {
 		st.Throughput = float64(st.FlitsMoved) / float64(s.now)
 	}
 	return st
+}
+
+// percentile returns the nearest-rank p-th percentile of sorted values:
+// the smallest element such that at least p% of samples are <= it.
+func percentile(sorted []int, p int) int {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 * n)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }

@@ -1,0 +1,128 @@
+package topology
+
+// Degraded is a read-only view of a network with a subset of channels
+// masked out — the graph a fault-recovery layer routes on while links are
+// down. The view shares the underlying network; Down is consulted on every
+// traversal, so the same view tracks a fault set that changes over time.
+type Degraded struct {
+	Net *Network
+	// Down reports whether a channel is currently unusable.
+	Down func(ChannelID) bool
+}
+
+// usable reports whether the view may traverse channel c.
+func (d Degraded) usable(c ChannelID) bool { return d.Down == nil || !d.Down(c) }
+
+// ShortestPath returns one BFS-shortest channel path from src to dst using
+// only live channels, or nil when dst is unreachable on the degraded graph
+// (or src == dst).
+func (d Degraded) ShortestPath(src, dst NodeID) []ChannelID {
+	n := d.Net
+	if src == dst {
+		return nil
+	}
+	prev := make([]ChannelID, len(n.nodes))
+	for i := range prev {
+		prev[i] = None
+	}
+	seen := make([]bool, len(n.nodes))
+	seen[src] = true
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == dst {
+			break
+		}
+		for _, cid := range n.out[u] {
+			if !d.usable(cid) {
+				continue
+			}
+			v := n.channels[cid].Dst
+			if !seen[v] {
+				seen[v] = true
+				prev[v] = cid
+				queue = append(queue, v)
+			}
+		}
+	}
+	if !seen[dst] {
+		return nil
+	}
+	var rev []ChannelID
+	for at := dst; at != src; {
+		cid := prev[at]
+		rev = append(rev, cid)
+		at = n.channels[cid].Src
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Reaches reports whether dst is reachable from src over live channels.
+func (d Degraded) Reaches(src, dst NodeID) bool {
+	if src == dst {
+		return true
+	}
+	return d.ShortestPath(src, dst) != nil
+}
+
+// StronglyConnected reports whether the degraded graph is still strongly
+// connected — every node reaches every other over live channels only.
+func (d Degraded) StronglyConnected() bool {
+	n := d.Net
+	if len(n.nodes) == 0 {
+		return false
+	}
+	if len(n.nodes) == 1 {
+		return true
+	}
+	return d.reachesAll(0, false) && d.reachesAll(0, true)
+}
+
+// reachesAll is Network.reachesAll restricted to live channels.
+func (d Degraded) reachesAll(start NodeID, reverse bool) bool {
+	n := d.Net
+	adj := n.out
+	if reverse {
+		adj = n.in
+	}
+	seen := make([]bool, len(n.nodes))
+	seen[start] = true
+	queue := []NodeID{start}
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, cid := range adj[u] {
+			if !d.usable(cid) {
+				continue
+			}
+			c := n.channels[cid]
+			v := c.Dst
+			if reverse {
+				v = c.Src
+			}
+			if !seen[v] {
+				seen[v] = true
+				count++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return count == len(n.nodes)
+}
+
+// LiveChannels returns the IDs of all currently usable channels, in ID
+// order.
+func (d Degraded) LiveChannels() []ChannelID {
+	var out []ChannelID
+	for _, c := range d.Net.channels {
+		if d.usable(c.ID) {
+			out = append(out, c.ID)
+		}
+	}
+	return out
+}
