@@ -273,6 +273,58 @@ func BenchmarkAblation_Arbitration(b *testing.B) {
 	}
 }
 
+// BenchmarkE1_Figure1_SearchParallel is the Theorem 1 search with the
+// worker pool left at its default (GOMAXPROCS) rather than pinned to one:
+// the wall-time side of the determinism contract the parity suite asserts.
+func BenchmarkE1_Figure1_SearchParallel(b *testing.B) {
+	skipInShort(b)
+	pn := papernets.Figure1()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := mcheck.Search(pn.Scenario, mcheck.SearchOptions{Parallelism: 0})
+		if res.Verdict != mcheck.VerdictNoDeadlock {
+			b.Fatalf("verdict = %v", res.Verdict)
+		}
+	}
+}
+
+// BenchmarkEncodeTo measures the binary state encoder on a mid-flight
+// Figure 1 state. The companion test TestEncodeToZeroAllocs (internal/sim)
+// asserts the zero-allocation property; the bench records the cost.
+func BenchmarkEncodeTo(b *testing.B) {
+	pn := papernets.Figure1()
+	s := pn.Scenario.NewSim()
+	for i := 0; i < 4; i++ {
+		s.Step()
+	}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		s.EncodeTo(&buf)
+	}
+	if len(buf) == 0 {
+		b.Fatal("no encoding produced")
+	}
+}
+
+// BenchmarkSearchAllocs reports the allocation profile of a full
+// exhaustive search (Figure 2: small enough to run per-iteration, large
+// enough that per-state costs dominate). allocs/op here is the number the
+// pooling/streaming work in internal/mcheck exists to keep down.
+func BenchmarkSearchAllocs(b *testing.B) {
+	pn := papernets.Figure2()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := mcheck.Search(pn.Scenario, mcheck.SearchOptions{})
+		if res.Verdict != mcheck.VerdictDeadlock {
+			b.Fatalf("verdict = %v", res.Verdict)
+		}
+	}
+}
+
 // BenchmarkAblation_SearchStrategy: state-space search vs bounded schedule
 // sweep on Figure 1 — same verdict, different cost profile.
 func BenchmarkAblation_SearchStrategy(b *testing.B) {

@@ -1,0 +1,222 @@
+// Command benchjson runs the repository's headline benchmarks (one per
+// experiment E1-E7, plus the encoder and allocation microbenches) through
+// testing.Benchmark and writes the results as BENCH_mcheck.json. The JSON
+// is byte-stable: fixed entry order, fixed field order, integral values —
+// only the measured numbers change between runs, so diffs of the artifact
+// read as perf deltas. Every benchmark's verdict is asserted before it is
+// timed; a wrong verdict (or a panic) exits nonzero, which is what the CI
+// bench job keys off.
+//
+//	benchjson            # writes ./BENCH_mcheck.json
+//	benchjson -o -       # writes to stdout
+//	benchjson -quick     # ~10x faster, noisier numbers
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/mcheck"
+	"repro/internal/papernets"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+type entry struct {
+	Name         string `json:"name"`
+	NsPerOp      int64  `json:"ns_per_op"`
+	AllocsPerOp  int64  `json:"allocs_per_op"`
+	BytesPerOp   int64  `json:"bytes_per_op"`
+	States       int    `json:"states,omitempty"`
+	StatesPerSec int64  `json:"states_per_sec,omitempty"`
+	Verdict      string `json:"verdict,omitempty"`
+}
+
+type report struct {
+	GoMaxProcs int     `json:"go_max_procs"`
+	Workers    int     `json:"search_workers"`
+	Entries    []entry `json:"benchmarks"`
+}
+
+var quick = flag.Bool("quick", false, "run each benchmark for ~0.1s instead of ~1s")
+
+func bench(f func(b *testing.B)) testing.BenchmarkResult {
+	return testing.Benchmark(f)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// searchEntry times an exhaustive search, asserting its verdict first and
+// deriving states/sec from the per-op time and the (deterministic) state
+// count.
+func searchEntry(name string, sc sim.Scenario, opts mcheck.SearchOptions, want mcheck.Verdict) entry {
+	probe := mcheck.Search(sc, opts)
+	if probe.Verdict != want {
+		fail("%s: verdict %v; want %v", name, probe.Verdict, want)
+	}
+	r := bench(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mcheck.Search(sc, opts)
+		}
+	})
+	e := entry{
+		Name:        name,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		States:      probe.States,
+		Verdict:     probe.Verdict.String(),
+	}
+	if e.NsPerOp > 0 {
+		e.StatesPerSec = int64(float64(probe.States) / (float64(e.NsPerOp) / 1e9))
+	}
+	return e
+}
+
+func plainEntry(name string, f func(b *testing.B)) entry {
+	r := bench(f)
+	return entry{
+		Name:        name,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+func main() {
+	testing.Init() // registers test.benchtime so quick mode can shrink it
+	out := flag.String("o", "BENCH_mcheck.json", "output path, or - for stdout")
+	flag.Parse()
+	if *quick {
+		if err := flag.Set("test.benchtime", "100ms"); err != nil {
+			fail("set benchtime: %v", err)
+		}
+	}
+
+	rep := report{GoMaxProcs: runtime.GOMAXPROCS(0), Workers: runtime.GOMAXPROCS(0)}
+	add := func(e entry) {
+		rep.Entries = append(rep.Entries, e)
+		fmt.Fprintf(os.Stderr, "%-28s %12d ns/op %10d allocs/op", e.Name, e.NsPerOp, e.AllocsPerOp)
+		if e.StatesPerSec > 0 {
+			fmt.Fprintf(os.Stderr, " %10d states/sec", e.StatesPerSec)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+
+	// E1: Theorem 1 — Figure 1 exhaustive search (the headline workload).
+	add(searchEntry("E1_Figure1_Search", papernets.Figure1().Scenario,
+		mcheck.SearchOptions{}, mcheck.VerdictNoDeadlock))
+	// E2: property checkers over the classic algorithm suite.
+	add(plainEntry("E2_PropertyChecks", func(b *testing.B) {
+		algs := []routing.Algorithm{
+			routing.DimensionOrder(topology.NewMesh([]int{4, 4}, 1)),
+			routing.ECube(topology.NewHypercube(4)),
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, alg := range algs {
+				if !routing.CheckAll(alg).SuffixClosed {
+					fail("E2: %s not suffix-closed", alg.Name())
+				}
+			}
+		}
+	}))
+	// E3: Section 6 skew variant of the Figure 1 search (deadlock at
+	// budget 1) — exercises freeze enumeration.
+	add(searchEntry("E3_Figure1_Skew1", papernets.Figure1().Scenario,
+		mcheck.SearchOptions{StallBudget: 1, FreezeInTransitOnly: true}, mcheck.VerdictDeadlock))
+	// E4: Theorem 4 — Figure 2 two-sharer deadlock search.
+	add(searchEntry("E4_Figure2_Search", papernets.Figure2().Scenario,
+		mcheck.SearchOptions{}, mcheck.VerdictDeadlock))
+	// E5: Theorem 5 — the six Figure 3 searches, reported as one op. The
+	// stall-budget-0 verdicts below are the recorded single-instance ground
+	// truth: (a)-(d) need adversarial skew or interposed copies to deadlock
+	// (cmd/repro's E5 exercises those variants via the static analyzer),
+	// while (e) and (f) deadlock outright.
+	e5Deadlocks := map[byte]bool{'e': true, 'f': true}
+	var figs []sim.Scenario
+	e5States := 0
+	for l := byte('a'); l <= 'f'; l++ {
+		sc := papernets.Figure3(l).Scenario
+		want := mcheck.VerdictNoDeadlock
+		if e5Deadlocks[l] {
+			want = mcheck.VerdictDeadlock
+		}
+		res := mcheck.Search(sc, mcheck.SearchOptions{})
+		if res.Verdict != want {
+			fail("E5: figure3%c verdict %v; want %v at stall budget 0", l, res.Verdict, want)
+		}
+		figs = append(figs, sc)
+		e5States += res.States
+	}
+	e5 := plainEntry("E5_Figure3_SearchAll", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, sc := range figs {
+				mcheck.Search(sc, mcheck.SearchOptions{})
+			}
+		}
+	})
+	e5.States = e5States
+	if e5.NsPerOp > 0 {
+		e5.StatesPerSec = int64(float64(e5States) / (float64(e5.NsPerOp) / 1e9))
+	}
+	add(e5)
+	// E6: Gen(2) at its minimal deadlocking stall budget.
+	add(searchEntry("E6_Gen2_Stall2", papernets.GenK(2).Scenario,
+		mcheck.SearchOptions{StallBudget: 2, FreezeInTransitOnly: true}, mcheck.VerdictDeadlock))
+	// E7: raw simulator throughput (no search) for baseline context.
+	add(plainEntry("E7_SimThroughput", func(b *testing.B) {
+		g := topology.NewMesh([]int{16, 16}, 1)
+		alg := routing.DimensionOrder(g)
+		src, dst := g.NodeAt([]int{0, 0}), g.NodeAt([]int{15, 15})
+		path := alg.Path(src, dst)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := sim.New(g.Network, sim.Config{})
+			s.MustAdd(sim.MessageSpec{Src: src, Dst: dst, Length: 64, Path: path})
+			if out := s.Run(10_000); out.Result != sim.ResultDelivered {
+				fail("E7: %v", out.Result)
+			}
+		}
+	}))
+	// Encoder microbench: EncodeTo on a mid-flight state.
+	add(plainEntry("EncodeTo", func(b *testing.B) {
+		s := papernets.Figure1().Scenario.NewSim()
+		for i := 0; i < 4; i++ {
+			s.Step()
+		}
+		buf := make([]byte, 0, 256)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = buf[:0]
+			s.EncodeTo(&buf)
+		}
+	}))
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail("marshal: %v", err)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fail("write %s: %v", *out, err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

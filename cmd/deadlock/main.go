@@ -1,20 +1,23 @@
 // Command deadlock runs the full deadlock-freedom analysis of the library
 // on a routing algorithm: properties, channel dependency graph, cycle
 // decomposition into candidate Definition 6 configurations, Section 5
-// classification, and — for paper networks — optional exhaustive
-// verification with the state-space model checker.
+// classification, and optional exhaustive verification with the
+// state-space model checker. On a paper network -verify searches the
+// paper's adversarial message set; on any other network it cross-checks
+// every decomposed configuration's single-instance scenario instead.
 //
 // Examples:
 //
 //	deadlock -paper figure1 -verify
 //	deadlock -paper gen3 -verify -stall 3
-//	deadlock -topo uring -dims 4 -alg bfs
+//	deadlock -topo uring -dims 4 -alg bfs -verify
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/cli"
 	"repro/internal/core"
@@ -30,7 +33,7 @@ func main() {
 		dims   = flag.String("dims", "4x4", "dimensions")
 		vcs    = flag.Int("vcs", 1, "virtual channels per link")
 		algf   = flag.String("alg", "dor", "routing algorithm")
-		verify = flag.Bool("verify", false, "verify the verdict with the exhaustive model checker (paper networks only)")
+		verify = flag.Bool("verify", false, "verify the verdict with the exhaustive model checker")
 		stall  = flag.Int("stall", 0, "adversarial stall budget for -verify (Section 6 clock-skew model)")
 	)
 	flag.Parse()
@@ -52,7 +55,22 @@ func main() {
 		}
 	}
 
-	rep := core.Analyze(alg, core.Options{})
+	searchOpts := mcheck.SearchOptions{
+		StallBudget:         *stall,
+		FreezeInTransitOnly: true,
+	}
+	copts := core.Options{}
+	if *verify && pn == nil {
+		// Without a paper message set, verify each decomposed
+		// configuration's own scenario through the analyzer. Complex
+		// nonminimal algorithms can decompose into many configurations,
+		// so cap each search to keep the command interactive; a capped
+		// run reports verdict "exhausted" rather than a certificate.
+		cfgOpts := searchOpts
+		cfgOpts.MaxStates = 250_000
+		copts.Search = &cfgOpts
+	}
+	rep := core.Analyze(alg, copts)
 	fmt.Printf("algorithm:  %s\n", rep.Algorithm)
 	fmt.Printf("properties: %s\n", rep.Properties)
 	fmt.Printf("CDG:        %d dependencies, acyclic=%v\n", rep.CDGEdges, rep.Acyclic)
@@ -70,21 +88,22 @@ func main() {
 			if cfg.Witness != nil {
 				fmt.Printf("    witness: cs order %v, times %v\n", cfg.Witness.SharedOrder, cfg.Witness.Times)
 			}
+			if cfg.SearchResult != nil {
+				fmt.Printf("    model checker: %s over %d states (%.0f states/sec, peak visited %d)\n",
+					cfg.SearchResult.Verdict, cfg.SearchResult.States,
+					cfg.SearchResult.StatesPerSec, cfg.SearchResult.PeakVisited)
+			}
 		}
 	}
 	fmt.Printf("verdict:    %s\n", rep.Verdict)
 	fmt.Printf("reason:     %s\n", rep.Reason)
 
-	if *verify {
-		if pn == nil {
-			log.Fatal("deadlock: -verify needs a -paper network (it defines the adversarial message set)")
-		}
-		res := mcheck.Search(pn.Scenario, mcheck.SearchOptions{
-			StallBudget:         *stall,
-			FreezeInTransitOnly: true,
-		})
+	if *verify && pn != nil {
+		res := mcheck.Search(pn.Scenario, searchOpts)
 		fmt.Printf("verify:     model checker says %s over %d states (stall budget %d)\n",
 			res.Verdict, res.States, *stall)
+		fmt.Printf("            %.0f states/sec, peak visited %d, %d worker(s), %s\n",
+			res.StatesPerSec, res.PeakVisited, res.Workers, res.Elapsed.Round(time.Millisecond))
 		if res.Verdict == mcheck.VerdictDeadlock {
 			fmt.Printf("            deadlock cycle: %s\n", res.Deadlock)
 			fmt.Println("            witness schedule:")

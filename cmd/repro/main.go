@@ -90,8 +90,8 @@ func e1() {
 		check(props.RoutingFuncForm && !props.Minimal && !props.SuffixClosed))
 
 	res := mcheck.Search(pn.Scenario, mcheck.SearchOptions{})
-	fmt.Printf("E1.3 exhaustive search (all injection timings + arbitrations): %s over %d states\n",
-		res.Verdict, res.States)
+	fmt.Printf("E1.3 exhaustive search (all injection timings + arbitrations): %s over %d states (%.0f states/sec, peak visited %d, %d worker(s))\n",
+		res.Verdict, res.States, res.StatesPerSec, res.PeakVisited, res.Workers)
 	fmt.Printf("     paper Theorem 1: deadlock-free          -> %s\n",
 		check(res.Verdict == mcheck.VerdictNoDeadlock))
 
@@ -401,8 +401,8 @@ func e8() {
 	}
 	for _, in := range insts {
 		res := mcheck.Search(in.sc, mcheck.SearchOptions{MaxStates: 50_000_000})
-		fmt.Printf("E8.2 %s exhaustive: %s over %d states -> %s\n",
-			in.name, res.Verdict, res.States, check(res.Verdict == in.want))
+		fmt.Printf("E8.2 %s exhaustive: %s over %d states (%.0f states/sec) -> %s\n",
+			in.name, res.Verdict, res.States, res.StatesPerSec, check(res.Verdict == in.want))
 	}
 	if !*deep {
 		fmt.Println("     (run with -deep to also verify Duato's protocol exhaustively, ~430k states)")

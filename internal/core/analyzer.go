@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cdg"
+	"repro/internal/mcheck"
 	"repro/internal/routing"
 	"repro/internal/topology"
 	"repro/internal/unreachable"
@@ -68,6 +69,10 @@ type ConfigReport struct {
 	Reason string
 	// Witness is the reachable configuration's schedule, when available.
 	Witness *unreachable.Witness
+	// SearchResult is the exhaustive model checker's verdict on the
+	// configuration's single-instance scenario (see ConfigScenario),
+	// populated only when Options.Search is set.
+	SearchResult *mcheck.SearchResult
 }
 
 // CycleReport is the analysis of one CDG cycle.
@@ -114,6 +119,16 @@ type Options struct {
 	// MaxConfigs caps configuration tilings per cycle (0 =
 	// DefaultMaxConfigs).
 	MaxConfigs int
+	// Search, when non-nil, cross-checks every classified configuration
+	// with the exhaustive state-space model checker: the configuration is
+	// instantiated as a scenario (ConfigScenario, one message per member)
+	// and mcheck.Search decides deadlock reachability for that message
+	// set exactly, under the given options. Results land in
+	// ConfigReport.SearchResult; the static verdict is not overridden —
+	// disagreements surface in the report for the caller (or a test) to
+	// flag. The cross-check multiplies analysis cost by the state-space
+	// size, so it is opt-in.
+	Search *mcheck.SearchOptions
 }
 
 // Default analysis bounds.
@@ -174,7 +189,7 @@ func Analyze(alg routing.Algorithm, opts Options) *Report {
 	anyReachable := false
 	anyUnknown := truncated
 	for _, cyc := range cycles {
-		cr := analyzeCycle(alg, cyc, opts.MaxConfigs)
+		cr := analyzeCycle(alg, cyc, opts)
 		rep.Cycles = append(rep.Cycles, cr)
 		switch cr.Verdict {
 		case ConfigReachable:
@@ -198,9 +213,9 @@ func Analyze(alg routing.Algorithm, opts Options) *Report {
 }
 
 // analyzeCycle decomposes one cycle and classifies its configurations.
-func analyzeCycle(alg routing.Algorithm, cyc cdg.Cycle, maxConfigs int) CycleReport {
+func analyzeCycle(alg routing.Algorithm, cyc cdg.Cycle, opts Options) CycleReport {
 	cr := CycleReport{Cycle: cyc}
-	configs, truncated := decomposeCycle(alg, cyc, maxConfigs)
+	configs, truncated := decomposeCycle(alg, cyc, opts.MaxConfigs)
 	cr.Truncated = truncated
 	if len(configs) == 0 {
 		// No message set can produce this cycle at all: the dependencies
@@ -211,6 +226,10 @@ func analyzeCycle(alg routing.Algorithm, cyc cdg.Cycle, maxConfigs int) CycleRep
 	anyReachable, anyUnknown := false, truncated
 	for _, cfg := range configs {
 		rep := classifyConfiguration(alg, cyc, cfg)
+		if opts.Search != nil {
+			res := mcheck.Search(ConfigScenario(alg, cfg), *opts.Search)
+			rep.SearchResult = &res
+		}
 		cr.Configs = append(cr.Configs, rep)
 		switch rep.Verdict {
 		case ConfigReachable:

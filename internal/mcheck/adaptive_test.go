@@ -63,18 +63,21 @@ func TestSearchExploresAdaptiveSelection(t *testing.T) {
 	}
 }
 
-func TestMaskCombos(t *testing.T) {
+func TestMaskEnumeration(t *testing.T) {
 	sc, ch := twoBranchScenario()
 	s := sc.NewSim()
-	combos := maskCombos(s)
+	e := newDecisionEnum(s)
+	e.probe.CopyFrom(s)
 	// Before injection, the adaptive message has two acquirable first
-	// hops: 2 mask combos.
-	if len(combos) != 2 {
-		t.Fatalf("combos = %d; want 2", len(combos))
-	}
+	// hops: 2 mask assignments (each possibly crossed with several
+	// arbitration picks downstream).
 	seen := map[topology.ChannelID]bool{}
-	for _, m := range combos {
-		seen[m[0]] = true
+	e.maskLoop(func(d *Decision) bool {
+		seen[d.Masks[0]] = true
+		return true
+	})
+	if len(seen) != 2 {
+		t.Fatalf("mask assignments = %d; want 2", len(seen))
 	}
 	if !seen[ch["ab"]] || !seen[ch["ac"]] {
 		t.Fatalf("mask targets = %v", seen)

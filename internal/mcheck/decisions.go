@@ -1,0 +1,254 @@
+package mcheck
+
+import (
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// decisionEnum streams the adversarial decisions available in a state
+// without materializing the cartesian product the old engine built: every
+// subset of held messages to activate, every subset of movable in-flight
+// messages to freeze (bounded by the stall budget), every adaptive
+// candidate selection, and every arbitration outcome. All intermediate
+// storage — the probe simulator, subset slices, mask/pick maps — is owned
+// by the enumerator and reused across calls, so enumeration allocates only
+// what the simulator's own query methods allocate.
+//
+// The enumeration order is canonical and load-bearing: the search engine
+// identifies a decision by its ordinal (the provenance arena stores
+// (parent, decisionIndex) pairs), and witness reconstruction re-runs the
+// enumerator to turn ordinals back into Decisions. The order is the same
+// nesting the materialized enumeration used — activations by ascending
+// subset bitmask, then freezes by ascending subset bitmask, then adaptive
+// selections (first adaptive message varying fastest), then arbitration
+// picks (lowest contested channel varying fastest) — so state counts and
+// witnesses are identical to the historical engine's.
+type decisionEnum struct {
+	probe *sim.Sim // scratch: activation + freeze + mask state applied here
+
+	held    []int
+	movable []int
+	act     []int
+	frz     []int
+
+	maskIDs    []int
+	maskCands  [][]topology.ChannelID
+	maskDigits []int
+	masks      map[int]topology.ChannelID
+
+	pickDigits []int
+	picks      map[topology.ChannelID]int
+}
+
+// newDecisionEnum returns an enumerator whose probe is a clone of proto;
+// proto must be structurally identical (same scenario) to every state the
+// enumerator will be asked to expand.
+func newDecisionEnum(proto *sim.Sim) *decisionEnum {
+	return &decisionEnum{
+		probe: proto.Clone(),
+		masks: make(map[int]topology.ChannelID),
+		picks: make(map[topology.ChannelID]int),
+	}
+}
+
+// maxSubsetItems guards the 2^n subset enumerations; the paper's scenarios
+// have at most a handful of messages.
+const maxSubsetItems = 16
+
+// forEach streams every decision available in state s with the given stall
+// budget to fn, in canonical order. The *Decision passed to fn — including
+// its slices and maps — is scratch storage valid only during the call; the
+// callee must apply or copy it before returning. Returning false from fn
+// stops the enumeration; forEach reports whether it ran to completion.
+func (e *decisionEnum) forEach(s *sim.Sim, budget int, inTransitOnly bool, fn func(d *Decision) bool) bool {
+	e.held = e.held[:0]
+	for id := 0; id < s.NumMessages(); id++ {
+		if s.Held(id) {
+			e.held = append(e.held, id)
+		}
+	}
+	if len(e.held) > maxSubsetItems {
+		panic("mcheck: subset enumeration over more than 16 items")
+	}
+	for actMask := 0; actMask < 1<<len(e.held); actMask++ {
+		e.act = subsetInto(e.act[:0], e.held, actMask)
+		// Freezing depends on which messages can move after activation;
+		// activation only enables injections, which cannot disable any
+		// other message's movement, so compute movability on the probe
+		// with the activation applied.
+		e.probe.CopyFrom(s)
+		for _, id := range e.act {
+			e.probe.SetHeld(id, false)
+		}
+		e.movable = e.movable[:0]
+		if budget > 0 {
+			for id := 0; id < e.probe.NumMessages(); id++ {
+				if !e.probe.CanAdvance(id) {
+					continue
+				}
+				if inTransitOnly && e.probe.Delivering(id) {
+					continue // already delivering: consumption may not stall
+				}
+				e.movable = append(e.movable, id)
+			}
+		}
+		if len(e.movable) > maxSubsetItems {
+			panic("mcheck: subset enumeration over more than 16 items")
+		}
+		for frzMask := 0; frzMask < 1<<len(e.movable); frzMask++ {
+			e.frz = subsetInto(e.frz[:0], e.movable, frzMask)
+			if len(e.frz) > budget {
+				continue
+			}
+			for _, id := range e.frz {
+				e.probe.SetFrozen(id, 1)
+			}
+			ok := e.maskLoop(fn)
+			for _, id := range e.frz {
+				e.probe.SetFrozen(id, 0)
+			}
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// maskLoop enumerates adaptive selection nondeterminism on the prepared
+// probe: for every adaptive message with several acquirable candidates,
+// which one it requests this cycle. With nothing to choose it yields a
+// single nil mask assignment, mirroring the historical maskCombos.
+func (e *decisionEnum) maskLoop(fn func(d *Decision) bool) bool {
+	e.maskIDs = e.maskIDs[:0]
+	e.maskCands = e.maskCands[:0]
+	for id := 0; id < e.probe.NumMessages(); id++ {
+		if !e.probe.IsAdaptive(id) {
+			continue
+		}
+		cands := e.probe.AcquirableCandidates(id)
+		if len(cands) < 2 {
+			continue
+		}
+		e.maskIDs = append(e.maskIDs, id)
+		e.maskCands = append(e.maskCands, cands)
+	}
+	n := len(e.maskIDs)
+	e.maskDigits = resetDigits(e.maskDigits, n)
+	for {
+		var masks map[int]topology.ChannelID
+		if n > 0 {
+			clear(e.masks)
+			for j, id := range e.maskIDs {
+				c := e.maskCands[j][e.maskDigits[j]]
+				e.masks[id] = c
+				e.probe.SetMask(id, c)
+			}
+			masks = e.masks
+		}
+		cons := e.probe.Contentions()
+		ok := e.pickLoop(cons, masks, fn)
+		for _, id := range e.maskIDs {
+			e.probe.SetMask(id, topology.None)
+		}
+		if !ok {
+			return false
+		}
+		j := 0
+		for j < n {
+			e.maskDigits[j]++
+			if e.maskDigits[j] < len(e.maskCands[j]) {
+				break
+			}
+			e.maskDigits[j] = 0
+			j++
+		}
+		if j == n {
+			return true
+		}
+	}
+}
+
+// pickLoop enumerates arbitration outcomes for the probed contentions and
+// yields one complete Decision per combination. With no contentions it
+// yields a single nil pick assignment.
+func (e *decisionEnum) pickLoop(cons []sim.Contention, masks map[int]topology.ChannelID, fn func(d *Decision) bool) bool {
+	n := len(cons)
+	e.pickDigits = resetDigits(e.pickDigits, n)
+	for {
+		var picks map[topology.ChannelID]int
+		if n > 0 {
+			clear(e.picks)
+			for j := range cons {
+				e.picks[cons[j].Channel] = cons[j].Contenders[e.pickDigits[j]]
+			}
+			picks = e.picks
+		}
+		d := Decision{Activate: e.act, Freeze: e.frz, Masks: masks, Picks: picks}
+		if !fn(&d) {
+			return false
+		}
+		j := 0
+		for j < n {
+			e.pickDigits[j]++
+			if e.pickDigits[j] < len(cons[j].Contenders) {
+				break
+			}
+			e.pickDigits[j] = 0
+			j++
+		}
+		if j == n {
+			return true
+		}
+	}
+}
+
+// subsetInto appends the subset of ids selected by mask (bit i selects
+// ids[i]) to dst and returns it; ascending-bitmask iteration over masks
+// reproduces the historical subsets() order, empty set first.
+func subsetInto(dst, ids []int, mask int) []int {
+	for i := 0; mask != 0; i, mask = i+1, mask>>1 {
+		if mask&1 != 0 {
+			dst = append(dst, ids[i])
+		}
+	}
+	return dst
+}
+
+// resetDigits returns a zeroed digit slice of length n, reusing d.
+func resetDigits(d []int, n int) []int {
+	if cap(d) < n {
+		d = make([]int, n)
+	}
+	d = d[:n]
+	for i := range d {
+		d[i] = 0
+	}
+	return d
+}
+
+// copyDecision deep-copies a scratch Decision from the enumerator into an
+// independently-owned value for a witness trace. Empty collections stay
+// nil, matching the historical materialized decisions.
+func copyDecision(d *Decision) Decision {
+	var out Decision
+	if len(d.Activate) > 0 {
+		out.Activate = append([]int(nil), d.Activate...)
+	}
+	if len(d.Freeze) > 0 {
+		out.Freeze = append([]int(nil), d.Freeze...)
+	}
+	if len(d.Masks) > 0 {
+		out.Masks = make(map[int]topology.ChannelID, len(d.Masks))
+		for k, v := range d.Masks {
+			out.Masks[k] = v
+		}
+	}
+	if len(d.Picks) > 0 {
+		out.Picks = make(map[topology.ChannelID]int, len(d.Picks))
+		for k, v := range d.Picks {
+			out.Picks[k] = v
+		}
+	}
+	return out
+}

@@ -161,39 +161,70 @@ func TestAllPriorityArbiters(t *testing.T) {
 	AllPriorityArbiters(7)
 }
 
-func TestSubsets(t *testing.T) {
-	subs := subsets([]int{1, 2})
-	if len(subs) != 4 {
-		t.Fatalf("subsets = %v", subs)
+func TestSubsetEnumeration(t *testing.T) {
+	// Ascending bitmask order: {}, {1}, {2}, {1,2}.
+	var got [][]int
+	ids := []int{1, 2}
+	for mask := 0; mask < 1<<len(ids); mask++ {
+		got = append(got, subsetInto(nil, ids, mask))
 	}
-	if len(subs[0]) != 0 {
+	if len(got) != 4 {
+		t.Fatalf("subsets = %v", got)
+	}
+	if len(got[0]) != 0 {
 		t.Fatal("first subset should be empty")
+	}
+	if len(got[1]) != 1 || got[1][0] != 1 {
+		t.Fatalf("second subset = %v; want [1]", got[1])
+	}
+	if len(got[3]) != 2 {
+		t.Fatalf("last subset = %v; want [1 2]", got[3])
 	}
 }
 
-func TestPickCombos(t *testing.T) {
+func TestPickEnumeration(t *testing.T) {
 	cons := []sim.Contention{
 		{Channel: 1, Contenders: []int{0, 1}},
 		{Channel: 2, Contenders: []int{2, 3, 4}},
 	}
-	combos := pickCombos(cons)
-	if len(combos) != 6 {
-		t.Fatalf("combos = %d; want 6", len(combos))
-	}
+	e := &decisionEnum{picks: make(map[topology.ChannelID]int)}
 	seen := make(map[string]bool)
-	for _, c := range combos {
+	n := 0
+	e.pickLoop(cons, nil, func(d *Decision) bool {
+		n++
 		key := ""
 		for ch := topology.ChannelID(1); ch <= 2; ch++ {
-			key += string(rune('0' + c[ch]))
+			key += string(rune('0' + d.Picks[ch]))
 		}
 		seen[key] = true
+		return true
+	})
+	if n != 6 {
+		t.Fatalf("combos = %d; want 6", n)
 	}
 	if len(seen) != 6 {
 		t.Fatalf("combos not distinct: %v", seen)
 	}
-	empty := pickCombos(nil)
-	if len(empty) != 1 || empty[0] != nil {
-		t.Fatalf("empty combos = %v", empty)
+	// The first contested channel varies fastest (canonical order).
+	first := ""
+	e.pickLoop(cons, nil, func(d *Decision) bool {
+		first = string(rune('0'+d.Picks[1])) + string(rune('0'+d.Picks[2]))
+		return false
+	})
+	if first != "02" {
+		t.Fatalf("first combo = %q; want picks {1:0, 2:2}", first)
+	}
+	// With no contentions, a single decision with nil picks.
+	n = 0
+	e.pickLoop(nil, nil, func(d *Decision) bool {
+		n++
+		if d.Picks != nil {
+			t.Fatalf("empty contentions yielded picks %v", d.Picks)
+		}
+		return true
+	})
+	if n != 1 {
+		t.Fatalf("empty contentions yielded %d decisions; want 1", n)
 	}
 }
 

@@ -22,10 +22,23 @@
 // A deadlock verdict always carries a witness: the decision trace (Search)
 // or schedule (Sweep) plus the Definition 6 cycle, and Replay re-executes
 // traces so tests can validate witnesses independently.
+//
+// Search is parallel but exactly deterministic: frontier expansion — the
+// expensive part, cloning and stepping the simulator once per decision —
+// fans out across a worker pool level by level, while all bookkeeping that
+// the verdict depends on (visited insertion, state counting, provenance,
+// deadlock detection order) happens in a single-threaded merge that
+// processes the level in the same order a sequential FIFO queue would.
+// Verdicts, state counts and witness traces are therefore byte-identical
+// across any worker count, including 1.
 package mcheck
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -90,6 +103,10 @@ type SearchOptions struct {
 	// (legal under assumption 2's "eventually consumed", but outside the
 	// paper's skew model).
 	FreezeInTransitOnly bool
+	// Parallelism is the number of frontier-expansion workers. 0 means
+	// GOMAXPROCS. The result is identical for every value; only wall
+	// time changes.
+	Parallelism int
 }
 
 // DefaultMaxStates bounds state exploration when SearchOptions.MaxStates
@@ -107,12 +124,201 @@ type SearchResult struct {
 	// Deadlock, for VerdictDeadlock, is the Definition 6 cycle in the
 	// final state.
 	Deadlock *waitfor.Deadlock
+
+	// Elapsed is the wall time the search took.
+	Elapsed time.Duration
+	// StatesPerSec is States / Elapsed, the headline throughput figure.
+	StatesPerSec float64
+	// PeakVisited is the number of distinct state encodings retained by
+	// the deduplication structure when the search ended (its memory high
+	// water mark, one entry per encoding).
+	PeakVisited int
+	// Workers is the worker count the search actually ran with.
+	Workers int
 }
 
-// node tracks BFS provenance for witness reconstruction.
-type node struct {
-	parent   string
-	decision Decision
+// provNode is one slot of the flat provenance arena: which frontier state
+// a state was expanded from, and the ordinal of the decision that produced
+// it within the parent's canonical decision enumeration. Decisions are
+// reconstructed from ordinals only when a witness is actually needed,
+// which keeps the per-state provenance cost at 8 bytes.
+type provNode struct {
+	parent int32 // arena index of the parent, -1 for the root
+	dec    int32 // decision ordinal within the parent's enumeration
+}
+
+// frontierEntry is one state of the current BFS level.
+type frontierEntry struct {
+	s      *sim.Sim
+	budget int
+	node   int32 // provenance arena index
+}
+
+// succState is a successor produced during parallel expansion, waiting for
+// the deterministic merge to accept or discard it.
+type succState struct {
+	s      *sim.Sim
+	enc    []byte
+	hash   uint64
+	budget int
+	dec    int32
+}
+
+// expandResult is everything the merge needs to know about one frontier
+// entry: whether it terminated (delivered / deadlocked), else its novel
+// successors in canonical decision order.
+type expandResult struct {
+	delivered  bool
+	deadlocked bool
+	succs      []succState
+}
+
+// engine holds the state shared between the search loop and its workers.
+type engine struct {
+	opts    SearchOptions
+	visited *visitedSet
+	pool    sync.Pool // recycled *sim.Sim successors
+	workers []*searchWorker
+}
+
+// searchWorker is the per-goroutine scratch state for frontier expansion.
+type searchWorker struct {
+	eng    *engine
+	enum   *decisionEnum
+	probe  *sim.Sim // deadlock-check scratch
+	encBuf []byte
+}
+
+func newEngine(opts SearchOptions, root *sim.Sim, workers int) *engine {
+	eng := &engine{opts: opts, visited: newVisitedSet()}
+	eng.workers = make([]*searchWorker, workers)
+	for i := range eng.workers {
+		eng.workers[i] = &searchWorker{
+			eng:   eng,
+			enum:  newDecisionEnum(root),
+			probe: root.Clone(),
+		}
+	}
+	return eng
+}
+
+// getSim returns a pooled simulator holding a deep copy of src.
+func (eng *engine) getSim(src *sim.Sim) *sim.Sim {
+	if v := eng.pool.Get(); v != nil {
+		s := v.(*sim.Sim)
+		s.CopyFrom(src)
+		return s
+	}
+	return src.Clone()
+}
+
+func (eng *engine) putSim(s *sim.Sim) { eng.pool.Put(s) }
+
+// expand computes one frontier entry's fate. It runs concurrently with
+// other expands but touches only worker-local scratch, the sim pool, and
+// lock-shared visited reads, so it is safe and — because the visited set
+// is frozen during expansion (insertions happen only in the merge) — its
+// result is independent of scheduling.
+func (w *searchWorker) expand(cur *frontierEntry) expandResult {
+	var r expandResult
+	if cur.s.AllDelivered() {
+		r.delivered = true
+		return r
+	}
+	if w.deadlocked(cur.s) {
+		r.deadlocked = true
+		return r
+	}
+	dec := int32(-1)
+	w.enum.forEach(cur.s, cur.budget, w.eng.opts.FreezeInTransitOnly, func(d *Decision) bool {
+		dec++
+		next := w.eng.getSim(cur.s)
+		apply(next, *d)
+		next.StepWithPicks(d.Picks)
+		newBudget := cur.budget - len(d.Freeze)
+		w.encBuf = w.encBuf[:0]
+		next.EncodeTo(&w.encBuf)
+		h := w.eng.visited.hash(w.encBuf)
+		// Pre-filter against states accepted in previous levels. Visited
+		// only grows at merge time, so a rejection here is final: budgets
+		// recorded there can only increase, never making a rejected
+		// (encoding, budget) pair novel again.
+		if !w.eng.visited.novel(h, w.encBuf, newBudget) {
+			w.eng.putSim(next)
+			return true
+		}
+		enc := append([]byte(nil), w.encBuf...)
+		r.succs = append(r.succs, succState{s: next, enc: enc, hash: h, budget: newBudget, dec: dec})
+		return true
+	})
+	return r
+}
+
+// deadlocked reports whether the state is a reachable deadlock: no flit can
+// ever move again among the active messages (held messages are the
+// adversary's to withhold forever) and some message is stuck in-network.
+// Movement possibility is arbitration-independent, so stepping a scratch
+// copy once decides it exactly.
+func (w *searchWorker) deadlocked(s *sim.Sim) bool {
+	inNetwork := false
+	for id := 0; id < s.NumMessages(); id++ {
+		if !s.Delivered(id) && s.InNetwork(id) {
+			inNetwork = true
+			break
+		}
+	}
+	if !inNetwork {
+		return false
+	}
+	w.probe.CopyFrom(s)
+	return !w.probe.Step().Moved
+}
+
+// expandLevel fans the frontier out across the workers and fills results
+// (same indexing as frontier). With one worker or a one-entry level it
+// stays on the calling goroutine.
+func (eng *engine) expandLevel(frontier []frontierEntry, results []expandResult) {
+	nw := len(eng.workers)
+	if nw > len(frontier) {
+		nw = len(frontier)
+	}
+	if nw <= 1 {
+		w := eng.workers[0]
+		for i := range frontier {
+			results[i] = w.expand(&frontier[i])
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for _, w := range eng.workers[:nw] {
+		wg.Add(1)
+		go func(w *searchWorker) {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(frontier) {
+					return
+				}
+				results[i] = w.expand(&frontier[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// requireSearchableArbiter rejects arbiters that may carry hidden
+// per-instance mutable state: the engines clone simulators constantly, and
+// a stateful arbiter silently shared across clones would let one branch's
+// arbitration history leak into another. Arbiters must either declare
+// statelessness (StatelessArbiter) or provide deep copies (ArbiterCloner).
+func requireSearchableArbiter(a sim.Arbiter) {
+	switch a.(type) {
+	case nil, sim.ArbiterCloner, sim.StatelessArbiter:
+	default:
+		panic(fmt.Sprintf("mcheck: arbiter %T implements neither sim.StatelessArbiter nor sim.ArbiterCloner; "+
+			"a stateful arbiter shared across clones corrupts the search", a))
+	}
 }
 
 // Search exhaustively explores every reachable state of the scenario under
@@ -120,66 +326,82 @@ type node struct {
 // scenario's InjectAt fields are ignored: injection timing is part of the
 // adversary's choice, which strictly generalizes any fixed schedule.
 func Search(sc sim.Scenario, opts SearchOptions) SearchResult {
+	start := time.Now()
+	requireSearchableArbiter(sc.Cfg.Arbiter)
 	maxStates := opts.MaxStates
 	if maxStates <= 0 {
 		maxStates = DefaultMaxStates
 	}
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
 	root := newHeldSim(sc)
-	rootKey := stateKey(root, opts.StallBudget)
+	eng := newEngine(opts, root, workers)
 
-	// visited maps an encoding (without budget) to the best remaining
-	// budget seen: a state revisited with no more budget than before can
-	// reach nothing new.
-	visited := map[string]int{root.Encode(): opts.StallBudget}
-	// parents records provenance for every non-root state.
-	parents := make(map[string]node)
+	var rootEnc []byte
+	root.EncodeTo(&rootEnc)
+	eng.visited.insert(eng.visited.hash(rootEnc), rootEnc, opts.StallBudget)
 
-	type qent struct {
-		s      *sim.Sim
-		budget int
-		key    string
-	}
-	queue := []qent{{s: root, budget: opts.StallBudget, key: rootKey}}
+	nodes := []provNode{{parent: -1, dec: -1}}
+	frontier := []frontierEntry{{s: root, budget: opts.StallBudget, node: 0}}
 	states := 1
 
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-
-		if cur.s.AllDelivered() {
-			continue
+	finish := func(r SearchResult) SearchResult {
+		r.Elapsed = time.Since(start)
+		if secs := r.Elapsed.Seconds(); secs > 0 {
+			r.StatesPerSec = float64(r.States) / secs
 		}
-		if deadlocked(cur.s) {
-			d := waitfor.Find(cur.s)
-			return SearchResult{
-				Verdict:  VerdictDeadlock,
-				States:   states,
-				Trace:    rebuildTrace(parents, cur.key),
-				Deadlock: d,
-			}
-		}
+		r.PeakVisited = eng.visited.size()
+		r.Workers = workers
+		return r
+	}
 
-		for _, dec := range decisions(cur.s, cur.budget, opts.FreezeInTransitOnly) {
-			next := cur.s.Clone()
-			apply(next, dec)
-			next.StepWithPicks(dec.Picks)
-			newBudget := cur.budget - len(dec.Freeze)
-			enc := next.Encode()
-			if best, ok := visited[enc]; ok && best >= newBudget {
+	for len(frontier) > 0 {
+		results := make([]expandResult, len(frontier))
+		eng.expandLevel(frontier, results)
+
+		// Deterministic merge: process entries in frontier order, which is
+		// exactly the order a sequential FIFO queue would dequeue them, so
+		// every visited insertion, state count and early return matches
+		// the single-threaded engine bit for bit.
+		var next []frontierEntry
+		for i := range frontier {
+			cur := &frontier[i]
+			res := &results[i]
+			if res.delivered {
+				eng.putSim(cur.s)
 				continue
 			}
-			visited[enc] = newBudget
-			states++
-			if states > maxStates {
-				return SearchResult{Verdict: VerdictExhausted, States: states}
+			if res.deadlocked {
+				d := waitfor.Find(cur.s)
+				return finish(SearchResult{
+					Verdict:  VerdictDeadlock,
+					States:   states,
+					Trace:    rebuildTrace(sc, nodes, cur.node, opts),
+					Deadlock: d,
+				})
 			}
-			key := stateKey(next, newBudget)
-			parents[key] = node{parent: cur.key, decision: dec}
-			queue = append(queue, qent{s: next, budget: newBudget, key: key})
+			for _, su := range res.succs {
+				// Re-check against states merged earlier this level; the
+				// workers' pre-filter only saw previous levels.
+				if !eng.visited.insert(su.hash, su.enc, su.budget) {
+					eng.putSim(su.s)
+					continue
+				}
+				states++
+				if states > maxStates {
+					return finish(SearchResult{Verdict: VerdictExhausted, States: states})
+				}
+				nodes = append(nodes, provNode{parent: cur.node, dec: su.dec})
+				next = append(next, frontierEntry{s: su.s, budget: su.budget, node: int32(len(nodes) - 1)})
+			}
+			eng.putSim(cur.s)
 		}
+		frontier = next
 	}
-	return SearchResult{Verdict: VerdictNoDeadlock, States: states}
+	return finish(SearchResult{Verdict: VerdictNoDeadlock, States: states})
 }
 
 // newHeldSim instantiates the scenario with every message held at its
@@ -193,127 +415,6 @@ func newHeldSim(sc sim.Scenario) *sim.Sim {
 		s.SetHeld(id, true)
 	}
 	return s
-}
-
-func stateKey(s *sim.Sim, budget int) string {
-	return fmt.Sprintf("%s|b%d", s.Encode(), budget)
-}
-
-// deadlocked reports whether the state is a reachable deadlock: no flit can
-// ever move again among the active messages (held messages are the
-// adversary's to withhold forever) and some message is stuck in-network.
-// Movement possibility is arbitration-independent, so stepping a clone once
-// decides it exactly.
-func deadlocked(s *sim.Sim) bool {
-	inNetwork := false
-	for id := 0; id < s.NumMessages(); id++ {
-		mv := s.Message(id)
-		if !mv.Delivered && mv.InNetwork {
-			inNetwork = true
-			break
-		}
-	}
-	if !inNetwork {
-		return false
-	}
-	probe := s.Clone()
-	return !probe.Step().Moved
-}
-
-// decisions enumerates every adversarial choice available in the state:
-// all subsets of held messages to activate, all subsets of movable
-// in-flight messages to freeze (bounded by budget), and all arbitration
-// outcomes for the resulting contentions.
-func decisions(s *sim.Sim, budget int, inTransitOnly bool) []Decision {
-	var held []int
-	for id := 0; id < s.NumMessages(); id++ {
-		if s.Held(id) {
-			held = append(held, id)
-		}
-	}
-
-	var out []Decision
-	for _, act := range subsets(held) {
-		// Freezing depends on which messages can move after activation;
-		// activation only enables injections, which cannot disable any
-		// other message's movement, so compute movability on a clone with
-		// the activation applied.
-		probe := s.Clone()
-		for _, id := range act {
-			probe.SetHeld(id, false)
-		}
-		var movable []int
-		if budget > 0 {
-			for id := 0; id < probe.NumMessages(); id++ {
-				if !probe.CanAdvance(id) {
-					continue
-				}
-				if inTransitOnly {
-					mv := probe.Message(id)
-					lastQueued := len(mv.Queued) > 0 && mv.Queued[len(mv.Queued)-1] > 0
-					if mv.HeaderConsumed || lastQueued {
-						continue // already delivering: consumption may not stall
-					}
-				}
-				movable = append(movable, id)
-			}
-		}
-		for _, frz := range subsets(movable) {
-			if len(frz) > budget {
-				continue
-			}
-			probe2 := probe.Clone()
-			for _, id := range frz {
-				probe2.SetFrozen(id, 1)
-			}
-			// Adaptive selection nondeterminism: enumerate, for every
-			// adaptive message with several acquirable candidates, which
-			// one it requests this cycle.
-			for _, masks := range maskCombos(probe2) {
-				probe3 := probe2
-				if len(masks) > 0 {
-					probe3 = probe2.Clone()
-					for id, c := range masks {
-						probe3.SetMask(id, c)
-					}
-				}
-				cons := probe3.Contentions()
-				for _, picks := range pickCombos(cons) {
-					out = append(out, Decision{Activate: act, Freeze: frz, Masks: masks, Picks: picks})
-				}
-			}
-		}
-	}
-	return out
-}
-
-// maskCombos enumerates the cartesian product of candidate selections for
-// every adaptive message that could acquire more than one channel this
-// cycle. It returns a single nil map when there is nothing to choose.
-func maskCombos(s *sim.Sim) []map[int]topology.ChannelID {
-	out := []map[int]topology.ChannelID{nil}
-	for id := 0; id < s.NumMessages(); id++ {
-		if !s.IsAdaptive(id) {
-			continue
-		}
-		cands := s.AcquirableCandidates(id)
-		if len(cands) < 2 {
-			continue
-		}
-		var next []map[int]topology.ChannelID
-		for _, c := range cands {
-			for _, base := range out {
-				m := make(map[int]topology.ChannelID, len(base)+1)
-				for k, v := range base {
-					m[k] = v
-				}
-				m[id] = c
-				next = append(next, m)
-			}
-		}
-		out = next
-	}
-	return out
 }
 
 // apply performs a decision's activations, freezes and masks on the
@@ -330,63 +431,45 @@ func apply(s *sim.Sim, d Decision) {
 	}
 }
 
-// subsets returns every subset of ids, the empty set first. The input must
-// be small; the paper's scenarios have at most a handful of messages.
-func subsets(ids []int) [][]int {
-	n := len(ids)
-	if n > 16 {
-		panic("mcheck: subset enumeration over more than 16 items")
+// rebuildTrace turns a provenance arena path into a witness trace. The
+// arena stores only decision ordinals, so the trace is reconstructed by
+// replaying from the root: at each state the canonical enumeration is run
+// just far enough to recover decision #dec, which is applied and the walk
+// continues. This trades O(depth × decisions-per-state) work at witness
+// time — paid once, only on a deadlock verdict — for never materializing
+// Decisions during the search itself.
+func rebuildTrace(sc sim.Scenario, nodes []provNode, idx int32, opts SearchOptions) []Decision {
+	var rev []int32
+	for i := idx; nodes[i].parent >= 0; i = nodes[i].parent {
+		rev = append(rev, nodes[i].dec)
 	}
-	out := make([][]int, 0, 1<<n)
-	for mask := 0; mask < 1<<n; mask++ {
-		var sub []int
-		for i := 0; i < n; i++ {
-			if mask&(1<<i) != 0 {
-				sub = append(sub, ids[i])
+	trace := make([]Decision, 0, len(rev))
+	s := newHeldSim(sc)
+	enum := newDecisionEnum(s)
+	budget := opts.StallBudget
+	for k := len(rev) - 1; k >= 0; k-- {
+		target := rev[k]
+		var chosen Decision
+		found := false
+		ord := int32(-1)
+		enum.forEach(s, budget, opts.FreezeInTransitOnly, func(d *Decision) bool {
+			ord++
+			if ord == target {
+				chosen = copyDecision(d)
+				found = true
+				return false
 			}
+			return true
+		})
+		if !found {
+			panic("mcheck: internal error: provenance decision ordinal out of range")
 		}
-		out = append(out, sub)
+		apply(s, chosen)
+		s.StepWithPicks(chosen.Picks)
+		budget -= len(chosen.Freeze)
+		trace = append(trace, chosen)
 	}
-	return out
-}
-
-// pickCombos returns the cartesian product of contender choices across all
-// contested channels. With no contentions it returns a single nil map.
-func pickCombos(cons []sim.Contention) []map[topology.ChannelID]int {
-	out := []map[topology.ChannelID]int{nil}
-	for _, c := range cons {
-		var next []map[topology.ChannelID]int
-		for _, id := range c.Contenders {
-			for _, base := range out {
-				m := make(map[topology.ChannelID]int, len(base)+1)
-				for k, v := range base {
-					m[k] = v
-				}
-				m[c.Channel] = id
-				next = append(next, m)
-			}
-		}
-		out = next
-	}
-	return out
-}
-
-// rebuildTrace walks the BFS provenance chain back to the root (which has
-// no parents entry).
-func rebuildTrace(parents map[string]node, key string) []Decision {
-	var rev []Decision
-	for {
-		n, ok := parents[key]
-		if !ok {
-			break
-		}
-		rev = append(rev, n.decision)
-		key = n.parent
-	}
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
-	}
-	return rev
+	return trace
 }
 
 // Replay re-executes a Search trace on a fresh instance of the scenario and

@@ -2,6 +2,7 @@ package mcheck
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/sim"
@@ -23,9 +24,9 @@ type SweepOptions struct {
 	// MaxCycles bounds each simulation run. 0 means DefaultMaxCycles.
 	MaxCycles int
 	// Parallelism runs the sweep's independent simulations on a worker
-	// pool of this size. 0 or 1 runs sequentially; the result is
-	// deterministic either way (the first witness is the first in sweep
-	// order, not completion order).
+	// pool of this size. 0 means GOMAXPROCS; 1 runs sequentially. The
+	// result is deterministic for every value (the first witness is the
+	// first in sweep order, not completion order).
 	Parallelism int
 }
 
@@ -62,6 +63,11 @@ type SweepResult struct {
 // mid-flight stalls are out of scope — but each deadlock it finds comes
 // with a directly replayable concrete schedule, mirroring the paper's
 // injection-order case analyses.
+//
+// The grid runs on a worker pool (GOMAXPROCS wide by default); each worker
+// keeps a single pooled simulator that is CopyFrom-reset and retimed per
+// schedule instead of rebuilding a simulator per run, so the sweep's
+// steady-state allocation cost is the witness records alone.
 func Sweep(sc sim.Scenario, opts SweepOptions) SweepResult {
 	if opts.Window < 1 {
 		opts.Window = 1
@@ -73,6 +79,9 @@ func Sweep(sc sim.Scenario, opts SweepOptions) SweepResult {
 	arbiters := opts.Arbiters
 	if len(arbiters) == 0 {
 		arbiters = []sim.Arbiter{sc.Cfg.Arbiter}
+	}
+	for _, a := range arbiters {
+		requireSearchableArbiter(a)
 	}
 
 	n := len(sc.Msgs)
@@ -124,10 +133,27 @@ func Sweep(sc sim.Scenario, opts SweepOptions) SweepResult {
 	}
 	sweepLengths(0)
 
-	runOne := func(j job) *SweepWitness {
-		run := sc.WithInjectTimes(j.times).WithLengths(j.lengths)
-		run.Cfg.Arbiter = arbiters[j.ai]
-		s := run.NewSim()
+	// proto is the pristine template every run is restored from; it is
+	// never stepped.
+	proto := sc.NewSim()
+
+	// runOne restores the worker's pooled simulator to the template,
+	// retimes it for the job, and runs it to completion.
+	runOne := func(s *sim.Sim, j job) *SweepWitness {
+		s.CopyFrom(proto)
+		for i := range j.times {
+			if err := s.SetInjectAt(i, j.times[i]); err != nil {
+				panic(err)
+			}
+			if err := s.SetLength(i, j.lengths[i]); err != nil {
+				panic(err)
+			}
+		}
+		a := arbiters[j.ai]
+		if c, ok := a.(sim.ArbiterCloner); ok {
+			a = c.CloneArbiter() // each run gets private arbiter state
+		}
+		s.SetArbiter(a)
 		out := s.Run(maxCycles)
 		if out.Result != sim.ResultDeadlock {
 			return nil
@@ -143,9 +169,16 @@ func Sweep(sc sim.Scenario, opts SweepOptions) SweepResult {
 
 	witnesses := make([]*SweepWitness, len(jobs))
 	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
 	if workers <= 1 {
+		s := proto.Clone()
 		for i, j := range jobs {
-			witnesses[i] = runOne(j)
+			witnesses[i] = runOne(s, j)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -154,8 +187,9 @@ func Sweep(sc sim.Scenario, opts SweepOptions) SweepResult {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				s := proto.Clone()
 				for i := range work {
-					witnesses[i] = runOne(jobs[i])
+					witnesses[i] = runOne(s, jobs[i])
 				}
 			}()
 		}

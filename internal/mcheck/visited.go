@@ -1,0 +1,115 @@
+package mcheck
+
+import (
+	"bytes"
+	"hash/maphash"
+	"sync"
+)
+
+// visitedShards is the stripe count of the visited set. Power of two so the
+// shard index is a mask; 64 stripes keep mutex contention negligible up to
+// far more workers than GOMAXPROCS will reasonably be.
+const visitedShards = 64
+
+// visitedSet is the search's deduplication structure: a sharded hash map
+// from a 64-bit maphash digest of a state's binary encoding to the best
+// stall budget the state has been reached with. Each entry keeps the full
+// encoding bytes as a collision-verification slot — two distinct states
+// that collide on the 64-bit digest are chained, never conflated, so the
+// search stays exact. Shards are guarded by striped RW mutexes: the
+// parallel expansion phase performs lock-shared lookups from every worker,
+// while insertions happen only in the single-threaded per-level merge.
+type visitedSet struct {
+	seed   maphash.Seed
+	shards [visitedShards]visitedShard
+}
+
+type visitedShard struct {
+	mu sync.RWMutex
+	// index maps a digest to the head of its entry chain.
+	index   map[uint64]int32
+	entries []visitedEntry
+}
+
+// visitedEntry records one distinct state encoding.
+type visitedEntry struct {
+	enc    []byte // canonical bytes; verifies the 64-bit digest match
+	budget int32  // best (largest) remaining stall budget seen
+	next   int32  // next entry with the same digest, -1 at chain end
+}
+
+func newVisitedSet() *visitedSet {
+	v := &visitedSet{seed: maphash.MakeSeed()}
+	for i := range v.shards {
+		v.shards[i].index = make(map[uint64]int32)
+	}
+	return v
+}
+
+// hash digests an encoding. Digests are only meaningful within one search
+// (the seed is per-set), which is all the visited set needs.
+func (v *visitedSet) hash(enc []byte) uint64 {
+	return maphash.Bytes(v.seed, enc)
+}
+
+// novel reports whether visiting the state (enc, budget) could still reach
+// anything new: the state is unseen, or was only seen with a strictly
+// smaller stall budget. Safe for concurrent use; the expansion workers use
+// it to discard duplicate successors before paying for their retention.
+func (v *visitedSet) novel(h uint64, enc []byte, budget int) bool {
+	sh := &v.shards[h&(visitedShards-1)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	i, ok := sh.index[h]
+	for ok && i >= 0 {
+		e := &sh.entries[i]
+		if bytes.Equal(e.enc, enc) {
+			return int(e.budget) < budget
+		}
+		i = e.next
+	}
+	return true
+}
+
+// insert records (enc, budget) and reports whether it was new in the novel
+// sense — exactly the condition under which the search counts a state and
+// enqueues it. Reached-again states with a larger budget update in place
+// (and still count: they can reach successors the smaller budget could
+// not). Only the per-level merge calls insert, so insertion order — and
+// with it every verdict, count and witness — is deterministic.
+func (v *visitedSet) insert(h uint64, enc []byte, budget int) bool {
+	sh := &v.shards[h&(visitedShards-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	head, ok := sh.index[h]
+	if ok {
+		for i := head; i >= 0; {
+			e := &sh.entries[i]
+			if bytes.Equal(e.enc, enc) {
+				if int(e.budget) >= budget {
+					return false
+				}
+				e.budget = int32(budget)
+				return true
+			}
+			i = e.next
+		}
+	} else {
+		head = -1
+	}
+	sh.entries = append(sh.entries, visitedEntry{enc: enc, budget: int32(budget), next: head})
+	sh.index[h] = int32(len(sh.entries) - 1)
+	return true
+}
+
+// size returns the number of distinct state encodings recorded.
+func (v *visitedSet) size() int {
+	n := 0
+	for i := range v.shards {
+		sh := &v.shards[i]
+		sh.mu.RLock()
+		n += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return n
+}

@@ -9,6 +9,30 @@ type Arbiter interface {
 	Pick(s *Sim, c topology.ChannelID, contenders []int) int
 }
 
+// ArbiterCloner is the optional interface stateful arbiters implement so
+// that Clone and CopyFrom can give each simulator copy its own arbiter
+// state. Without it, Clone shares the arbiter value between copies — safe
+// only for stateless arbiters. The search engines in internal/mcheck
+// refuse arbiters that implement neither ArbiterCloner nor
+// StatelessArbiter, because silently shared arbiter state would corrupt a
+// branching state-space exploration.
+type ArbiterCloner interface {
+	Arbiter
+	// CloneArbiter returns an independent copy carrying the same state.
+	CloneArbiter() Arbiter
+}
+
+// StatelessArbiter marks arbiters whose Pick never mutates the arbiter
+// value itself (it may still read simulator state, like FIFOArbiter).
+// Stateless arbiters are safe to share across clones and across the
+// parallel workers of the search engines. All built-in arbiters implement
+// it.
+type StatelessArbiter interface {
+	Arbiter
+	// StatelessArbiter is a marker method; implementations do nothing.
+	StatelessArbiter()
+}
+
 // FIFOArbiter grants the channel to the message that has been waiting for
 // an output channel the longest (ties broken by lowest message ID). A
 // message that requests a channel the same cycle it becomes eligible has
@@ -74,3 +98,14 @@ type LowestIDArbiter struct{}
 func (LowestIDArbiter) Pick(_ *Sim, _ topology.ChannelID, contenders []int) int {
 	return contenders[0]
 }
+
+// StatelessArbiter marks FIFOArbiter safe to share across simulator clones.
+func (FIFOArbiter) StatelessArbiter() {}
+
+// StatelessArbiter marks PriorityArbiter safe to share across simulator
+// clones (Order is read-only).
+func (PriorityArbiter) StatelessArbiter() {}
+
+// StatelessArbiter marks LowestIDArbiter safe to share across simulator
+// clones.
+func (LowestIDArbiter) StatelessArbiter() {}

@@ -1,0 +1,104 @@
+package sim
+
+import "fmt"
+
+// Reset returns the simulator to the empty state New produces — no
+// messages, cycle zero, all channels free and in service — while keeping
+// the network, configuration and slice capacity. Pools of simulators use
+// it to recycle an instance for a fresh message set.
+func (s *Sim) Reset() {
+	s.now = 0
+	s.msgs = s.msgs[:0]
+	for i := range s.owner {
+		s.owner[i] = -1
+	}
+	for i := range s.downUntil {
+		s.downUntil[i] = 0
+	}
+	s.waitingSince = s.waitingSince[:0]
+	s.lastMoved = false
+	s.lastThawed = false
+}
+
+// CopyFrom overwrites s with a deep copy of src, reusing s's existing
+// allocations wherever capacity allows. It is Clone without the
+// allocations: a search engine keeps a pool of simulators and CopyFrom's
+// them back to a frontier state before applying the next branch. Both
+// simulators must have been created for the same network (the immutable
+// topology is shared, exactly as in Clone). Arbiters implementing
+// ArbiterCloner are deep-copied; other arbiters are shared.
+func (s *Sim) CopyFrom(src *Sim) {
+	if s.net != src.net {
+		panic("sim: CopyFrom across different networks")
+	}
+	s.cfg = src.cfg
+	if c, ok := src.cfg.Arbiter.(ArbiterCloner); ok {
+		s.cfg.Arbiter = c.CloneArbiter()
+	}
+	s.now = src.now
+	s.owner = append(s.owner[:0], src.owner...)
+	s.downUntil = append(s.downUntil[:0], src.downUntil...)
+	s.waitingSince = append(s.waitingSince[:0], src.waitingSince...)
+	s.lastMoved = src.lastMoved
+	s.lastThawed = src.lastThawed
+
+	// Reuse message structs (and their queued/path backing arrays) from
+	// previous generations of this sim where possible.
+	if cap(s.msgs) >= len(src.msgs) {
+		s.msgs = s.msgs[:len(src.msgs)] // revives structs parked beyond the old length
+	} else {
+		s.msgs = s.msgs[:cap(s.msgs)]
+		for len(s.msgs) < len(src.msgs) {
+			s.msgs = append(s.msgs, nil)
+		}
+	}
+	for i, sm := range src.msgs {
+		dm := s.msgs[i]
+		if dm == nil {
+			dm = &message{}
+			s.msgs[i] = dm
+		}
+		queued, path := dm.queued, dm.path
+		*dm = *sm
+		dm.queued = append(queued[:0], sm.queued...)
+		dm.path = append(path[:0], sm.path...)
+	}
+}
+
+// SetInjectAt changes the earliest injection cycle of message id. Only
+// messages that have not begun injecting (never, or just reset) can be
+// retimed; schedule sweeps use this to re-run one pooled simulator over a
+// grid of injection schedules without rebuilding it.
+func (s *Sim) SetInjectAt(id, at int) error {
+	m := s.msgs[id]
+	if m.injected > 0 && !m.terminal() {
+		return fmt.Errorf("sim: SetInjectAt(%d): message is in the network", id)
+	}
+	if at < 0 {
+		return fmt.Errorf("sim: SetInjectAt(%d): negative injection time %d", id, at)
+	}
+	m.spec.InjectAt = at
+	return nil
+}
+
+// SetLength changes the flit count of message id. Like SetInjectAt it is
+// only legal before the message begins injecting.
+func (s *Sim) SetLength(id, length int) error {
+	m := s.msgs[id]
+	if m.injected > 0 && !m.terminal() {
+		return fmt.Errorf("sim: SetLength(%d): message is in the network", id)
+	}
+	if length < 1 {
+		return fmt.Errorf("sim: SetLength(%d): length %d < 1", id, length)
+	}
+	m.spec.Length = length
+	return nil
+}
+
+// SetArbiter replaces the arbitration policy for subsequent cycles.
+func (s *Sim) SetArbiter(a Arbiter) {
+	if a == nil {
+		a = FIFOArbiter{}
+	}
+	s.cfg.Arbiter = a
+}

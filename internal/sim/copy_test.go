@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// copyFixture is a two-message sim on the line network, stepped a few
+// cycles so messages hold channels and buffers are populated.
+func copyFixture(t *testing.T) *Sim {
+	t.Helper()
+	net := line(5)
+	s := New(net, Config{})
+	s.MustAdd(MessageSpec{Src: 0, Dst: 4, Length: 3, Path: pathTo(net, 4)})
+	s.MustAdd(MessageSpec{Src: 1, Dst: 3, Length: 2, Path: []topology.ChannelID{1, 2}, InjectAt: 1})
+	for i := 0; i < 3; i++ {
+		s.Step()
+	}
+	return s
+}
+
+func TestEncodeToZeroAllocs(t *testing.T) {
+	s := copyFixture(t)
+	buf := make([]byte, 0, 256)
+	s.EncodeTo(&buf)
+	if len(buf) == 0 {
+		t.Fatal("EncodeTo produced no bytes")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = buf[:0]
+		s.EncodeTo(&buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("EncodeTo allocated %.1f times per run with a pre-sized buffer; want 0", allocs)
+	}
+}
+
+func TestEncodeToDistinguishesStates(t *testing.T) {
+	s := copyFixture(t)
+	var a, b []byte
+	s.EncodeTo(&a)
+	s.Step()
+	s.EncodeTo(&b)
+	if bytes.Equal(a, b) {
+		t.Fatal("distinct states encoded identically")
+	}
+}
+
+func TestCopyFromMatchesClone(t *testing.T) {
+	src := copyFixture(t)
+	clone := src.Clone()
+
+	// A pooled sim from the same network, previously used for a different
+	// state, must become indistinguishable from src after CopyFrom.
+	dst := src.Clone()
+	dst.Step()
+	dst.Step()
+	dst.CopyFrom(src)
+
+	var want, got, viaClone []byte
+	src.EncodeTo(&want)
+	dst.EncodeTo(&got)
+	clone.EncodeTo(&viaClone)
+	if !bytes.Equal(want, got) {
+		t.Fatalf("CopyFrom state differs from source:\n  src %x\n  dst %x", want, got)
+	}
+	if !bytes.Equal(want, viaClone) {
+		t.Fatalf("Clone state differs from source")
+	}
+
+	// The copy must evolve independently of the source.
+	dst.Step()
+	var after []byte
+	src.EncodeTo(&after)
+	if !bytes.Equal(want, after) {
+		t.Fatal("stepping the copy mutated the source")
+	}
+}
+
+func TestCopyFromStepsLikeOriginal(t *testing.T) {
+	src := copyFixture(t)
+	dst := src.Clone()
+	dst.Step() // desync, then restore
+	dst.CopyFrom(src)
+	for i := 0; i < 10; i++ {
+		src.Step()
+		dst.Step()
+		var a, b []byte
+		src.EncodeTo(&a)
+		dst.EncodeTo(&b)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("step %d: copy diverged from original", i)
+		}
+	}
+}
+
+func TestCopyFromRejectsDifferentNetworks(t *testing.T) {
+	a := New(line(3), Config{})
+	b := New(line(3), Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom across networks did not panic")
+		}
+	}()
+	a.CopyFrom(b)
+}
+
+func TestSetInjectAtAndLength(t *testing.T) {
+	net := line(4)
+	s := New(net, Config{})
+	id := s.MustAdd(MessageSpec{Src: 0, Dst: 3, Length: 2, Path: pathTo(net, 3), InjectAt: 5})
+	if err := s.SetInjectAt(id, 0); err != nil {
+		t.Fatalf("SetInjectAt before injection: %v", err)
+	}
+	if err := s.SetLength(id, 4); err != nil {
+		t.Fatalf("SetLength before injection: %v", err)
+	}
+	if err := s.SetInjectAt(id, -1); err == nil {
+		t.Fatal("negative inject time accepted")
+	}
+	if err := s.SetLength(id, 0); err == nil {
+		t.Fatal("zero length accepted")
+	}
+	s.Step() // message injects at cycle 0 now
+	if !s.InNetwork(id) {
+		t.Fatal("message should be in the network")
+	}
+	if err := s.SetInjectAt(id, 3); err == nil {
+		t.Fatal("retiming an in-network message accepted")
+	}
+	if err := s.SetLength(id, 2); err == nil {
+		t.Fatal("resizing an in-network message accepted")
+	}
+}
+
+// recordingArbiter counts grants and deep-copies itself for clones.
+type recordingArbiter struct{ grants int }
+
+func (a *recordingArbiter) Pick(_ *Sim, _ topology.ChannelID, contenders []int) int {
+	a.grants++
+	return contenders[0]
+}
+
+func (a *recordingArbiter) CloneArbiter() Arbiter {
+	cp := *a
+	return &cp
+}
+
+func TestCloneDeepCopiesArbiterState(t *testing.T) {
+	net := line(4)
+	root := &recordingArbiter{}
+	s := New(net, Config{Arbiter: root})
+	// Two messages contending for channel 0 force an arbitration.
+	s.MustAdd(MessageSpec{Src: 0, Dst: 3, Length: 2, Path: pathTo(net, 3)})
+	s.MustAdd(MessageSpec{Src: 0, Dst: 2, Length: 2, Path: pathTo(net, 2)})
+
+	c := s.Clone()
+	for i := 0; i < 6; i++ {
+		c.Step()
+	}
+	if root.grants != 0 {
+		t.Fatalf("stepping a clone mutated the original's arbiter (%d grants)", root.grants)
+	}
+
+	pooled := s.Clone()
+	pooled.Step()
+	before := root.grants
+	pooled.CopyFrom(s)
+	pooled.Step()
+	if root.grants != before {
+		t.Fatal("stepping a CopyFrom'd sim mutated the original's arbiter")
+	}
+}
+
+func TestBuiltinArbitersAreStateless(t *testing.T) {
+	for _, a := range []Arbiter{FIFOArbiter{}, PriorityArbiter{}, LowestIDArbiter{}} {
+		if _, ok := a.(StatelessArbiter); !ok {
+			t.Fatalf("%T does not declare StatelessArbiter", a)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package sim
+
+import "encoding/binary"
+
+// EncodeTo appends a compact, canonical binary encoding of the mutable
+// simulation state to *dst. It captures exactly the same state as Encode —
+// per-message progress, freeze/held/drop flags, buffered flit counts, the
+// materialized route of adaptive messages, and time-relative channel fault
+// state — but costs no formatting and, when *dst already has capacity, no
+// allocation. Two states encode to identical bytes iff they have identical
+// future behaviour under identical choice sequences (the same caveat as
+// Encode: every message's InjectAt must already be due; searches arrange
+// this via Held).
+//
+// The format is length-prefixed uvarints, so equal byte strings imply
+// equal states even across different prefix lengths:
+//
+//	per message (ID order):
+//	  uvarint injected, consumed, frozen
+//	  1 flag byte (bit0 held, bit1 headerConsumed, bit2 dropped)
+//	  uvarint len(queued), then uvarint per buffered-flit count
+//	  adaptive only: uvarint len(path), then uvarint per channel ID
+//	then, for each currently-down channel in ascending ID order:
+//	  uvarint channelID+1, uvarint remaining outage (0 = permanent)
+//
+// The message count and each message's oblivious path are fixed for the
+// lifetime of a Sim, so they are deliberately not encoded; encodings are
+// only comparable between Sims instantiated from the same scenario.
+func (s *Sim) EncodeTo(dst *[]byte) {
+	b := *dst
+	for _, m := range s.msgs {
+		b = binary.AppendUvarint(b, uint64(m.injected))
+		b = binary.AppendUvarint(b, uint64(m.consumed))
+		b = binary.AppendUvarint(b, uint64(m.frozen))
+		var flags byte
+		if m.held {
+			flags |= 1
+		}
+		if m.headerConsumed {
+			flags |= 2
+		}
+		if m.dropped {
+			flags |= 4
+		}
+		b = append(b, flags)
+		b = binary.AppendUvarint(b, uint64(len(m.queued)))
+		for _, q := range m.queued {
+			b = binary.AppendUvarint(b, uint64(q))
+		}
+		if m.adaptive() {
+			// The materialized route is part of an adaptive message's
+			// state; an oblivious path is immutable and omitted.
+			b = binary.AppendUvarint(b, uint64(len(m.path)))
+			for _, c := range m.path {
+				b = binary.AppendUvarint(b, uint64(c))
+			}
+		}
+	}
+	// Channel fault state, time-relative (remaining outage) so two states
+	// that behave identically going forward encode identically regardless
+	// of absolute cycle. Down channels are rare; most states append
+	// nothing here.
+	for c, until := range s.downUntil {
+		if until <= s.now {
+			continue
+		}
+		b = binary.AppendUvarint(b, uint64(c)+1)
+		if until == DownForever {
+			b = binary.AppendUvarint(b, 0)
+		} else {
+			b = binary.AppendUvarint(b, uint64(until-s.now))
+		}
+	}
+	*dst = b
+}

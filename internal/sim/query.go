@@ -1,0 +1,28 @@
+package sim
+
+// Lightweight per-message state queries for the search engines. Message
+// returns a MsgView whose Queued/Path slices are defensive copies; the hot
+// paths of the model checker only need these scalar facts, so they get
+// allocation-free accessors.
+
+// Delivered reports whether message id has been fully consumed at its
+// destination.
+func (s *Sim) Delivered(id int) bool { return s.msgs[id].delivered() }
+
+// InNetwork reports whether message id currently holds flits in the
+// network (injected but not yet fully consumed).
+func (s *Sim) InNetwork(id int) bool { return s.msgs[id].inNetwork() }
+
+// Delivering reports whether message id's header has reached the
+// destination and consumption has begun or could begin immediately: the
+// header is consumed, or flits are buffered on the last channel of its
+// materialized route. The Section 6 clock-skew adversary may not stall
+// such messages (destination processors consume promptly).
+func (s *Sim) Delivering(id int) bool {
+	m := s.msgs[id]
+	if m.headerConsumed {
+		return true
+	}
+	n := len(m.queued)
+	return n > 0 && m.queued[n-1] > 0
+}

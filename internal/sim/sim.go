@@ -1034,12 +1034,19 @@ func (s *Sim) droppedIDs() []int {
 }
 
 // Clone returns a deep copy sharing only the immutable network and message
-// specs. Arbiter state is shared if the arbiter is stateful; use stateless
-// arbiters (FIFO, Priority) or scripted picks when cloning for search.
+// specs. Arbiters that implement ArbiterCloner are deep-copied so each
+// clone carries its own arbiter state; any other arbiter value is shared,
+// which is only safe for stateless arbiters (all built-ins qualify and are
+// marked StatelessArbiter). The search engines in internal/mcheck enforce
+// this: they reject arbiters that implement neither interface.
 func (s *Sim) Clone() *Sim {
+	cfg := s.cfg
+	if a, ok := cfg.Arbiter.(ArbiterCloner); ok {
+		cfg.Arbiter = a.CloneArbiter()
+	}
 	c := &Sim{
 		net:          s.net,
-		cfg:          s.cfg,
+		cfg:          cfg,
 		now:          s.now,
 		owner:        append([]int(nil), s.owner...),
 		downUntil:    append([]int(nil), s.downUntil...),
@@ -1059,7 +1066,9 @@ func (s *Sim) Clone() *Sim {
 
 // Encode returns a canonical string of the mutable simulation state,
 // excluding the cycle counter and statistics, for use as a visited-set key
-// in state-space search. Two states with equal encodings have identical
+// in state-space search. It is the human-readable sibling of EncodeTo,
+// which produces an equivalent binary encoding without allocating and is
+// what the search engines use on their hot path. Two states with equal encodings have identical
 // future behaviour under identical choice sequences, provided every
 // message's InjectAt is already due (searches arrange this by using Held
 // instead of InjectAt).
