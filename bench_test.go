@@ -8,11 +8,13 @@ package repro
 
 import (
 	"fmt"
+	"io"
 	"testing"
 
 	"repro/internal/cdg"
 	"repro/internal/core"
 	"repro/internal/mcheck"
+	"repro/internal/obsv"
 	"repro/internal/papernets"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -322,6 +324,52 @@ func BenchmarkSearchAllocs(b *testing.B) {
 		if res.Verdict != mcheck.VerdictDeadlock {
 			b.Fatalf("verdict = %v", res.Verdict)
 		}
+	}
+}
+
+// BenchmarkE1_Figure1_SearchTraced is the Theorem 1 search with a live
+// JSONL trace sink attached — the enabled-path counterpart of
+// TestDisabledTracerFastPath_E1. The delta against
+// BenchmarkE1_Figure1_Search is the all-in cost of tracing a search.
+func BenchmarkE1_Figure1_SearchTraced(b *testing.B) {
+	skipInShort(b)
+	pn := papernets.Figure1()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := obsv.NewJSONL(io.Discard)
+		res := mcheck.Search(pn.Scenario, mcheck.SearchOptions{Tracer: s})
+		if res.Verdict != mcheck.VerdictNoDeadlock {
+			b.Fatalf("verdict = %v", res.Verdict)
+		}
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTracedSimRun measures a fully traced concrete simulation of
+// the Figure 1 scenario (every flit advance, acquire/release and
+// wait-edge transition emitted) against the same run untraced.
+func BenchmarkTracedSimRun(b *testing.B) {
+	pn := papernets.Figure1()
+	for _, traced := range []bool{false, true} {
+		name := "untraced"
+		if traced {
+			name = "traced"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := pn.Scenario.NewSim()
+				if traced {
+					s.SetTracer(obsv.NewJSONL(io.Discard))
+				}
+				if out := s.Run(10_000); out.Result != sim.ResultDelivered {
+					b.Fatal(out.Result)
+				}
+			}
+		})
 	}
 }
 

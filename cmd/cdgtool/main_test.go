@@ -1,0 +1,48 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cdg"
+	"repro/internal/cli"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// golden compares got against testdata/<name>, rewriting the file under
+// -update.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s: output differs from golden file\ngot %d bytes, want %d bytes\n(re-run with -update after verifying the change is intended)",
+			name, len(got), len(want))
+	}
+}
+
+// TestFigure1DOTGolden pins the exact DOT the command emits for the
+// paper's Figure 1 network: -dot (the CDG with its 14-channel cycle
+// highlighted) and -netdot (the topology). The files are consumed by
+// documentation and CI artifacts, so byte-level drift should be a
+// conscious decision.
+func TestFigure1DOTGolden(t *testing.T) {
+	pn, err := cli.PaperNet("figure1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "figure1_cdg.dot", cdg.New(pn.Alg).DOT())
+	golden(t, "figure1_net.dot", pn.Alg.Network().DOT())
+}

@@ -28,14 +28,16 @@ import (
 
 func main() {
 	var (
-		paper  = flag.String("paper", "", "paper network: figure1, figure2, figure3a..f, gen<k>")
-		topo   = flag.String("topo", "mesh", "topology (when -paper is empty)")
-		dims   = flag.String("dims", "4x4", "dimensions")
-		vcs    = flag.Int("vcs", 1, "virtual channels per link")
-		algf   = flag.String("alg", "dor", "routing algorithm")
-		verify = flag.Bool("verify", false, "verify the verdict with the exhaustive model checker")
-		stall  = flag.Int("stall", 0, "adversarial stall budget for -verify (Section 6 clock-skew model)")
+		paper   = flag.String("paper", "", "paper network: figure1, figure2, figure3a..f, gen<k>")
+		topo    = flag.String("topo", "mesh", "topology (when -paper is empty)")
+		dims    = flag.String("dims", "4x4", "dimensions")
+		vcs     = flag.Int("vcs", 1, "virtual channels per link")
+		algf    = flag.String("alg", "dor", "routing algorithm")
+		verify  = flag.Bool("verify", false, "verify the verdict with the exhaustive model checker")
+		stall   = flag.Int("stall", 0, "adversarial stall budget for -verify (Section 6 clock-skew model)")
+		workers = flag.Int("workers", 0, "search worker goroutines (0 = GOMAXPROCS; the verdict is identical for every value)")
 	)
+	obsvF := cli.RegisterObsvFlags()
 	flag.Parse()
 
 	var alg routing.Algorithm
@@ -55,9 +57,23 @@ func main() {
 		}
 	}
 
+	obsName := *paper
+	if obsName == "" {
+		obsName = *topo + "/" + *algf
+	}
+	obs, err := obsvF.Open("deadlock "+obsName, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer obs.Close()
+
 	searchOpts := mcheck.SearchOptions{
 		StallBudget:         *stall,
 		FreezeInTransitOnly: true,
+		Parallelism:         *workers,
+		Tracer:              obs.Tracer,
+		Progress:            obsvF.SearchProgress(),
+		Metrics:             obs.Metrics,
 	}
 	copts := core.Options{}
 	if *verify && pn == nil {

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/fault"
+	"repro/internal/obsv"
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -80,6 +81,7 @@ func main() {
 		policies   = flag.String("policies", "abort-retry,drop,reroute", "comma-separated recovery policies")
 		outPath    = flag.String("o", "", "output file (default stdout)")
 	)
+	obsvF := cli.RegisterObsvFlags()
 	flag.Parse()
 
 	if cli.AdaptiveNames[*alg] {
@@ -113,6 +115,11 @@ func main() {
 		rates = append(rates, v)
 	}
 
+	obs, err := obsvF.Open("faultsweep "+net.Name(), cli.ChannelLanes(net))
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	doc := campaign{
 		Network: net.Name(), Routing: a.Name(), Pattern: *pattern,
 		Rate: *rate, Length: *length, Duration: *duration, Seed: *seed,
@@ -129,8 +136,11 @@ func main() {
 			log.Fatal(err)
 		}
 		for _, pol := range pols {
-			doc.Cells = append(doc.Cells, runCell(net, a, msgs, sch, pol, mtbf, *depth, *maxCyc))
+			doc.Cells = append(doc.Cells, runCell(net, a, msgs, sch, pol, mtbf, *depth, *maxCyc, obs.Tracer))
 		}
+	}
+	if err := obs.Close(); err != nil {
+		log.Fatal(err)
 	}
 
 	out, err := json.MarshalIndent(doc, "", "  ")
@@ -149,12 +159,13 @@ func main() {
 }
 
 // runCell simulates one (schedule, policy) point on a fresh simulator.
-func runCell(net *topology.Network, a routing.Algorithm, msgs []sim.MessageSpec, sch fault.Schedule, pol fault.Policy, mtbf float64, depth, maxCyc int) cell {
+func runCell(net *topology.Network, a routing.Algorithm, msgs []sim.MessageSpec, sch fault.Schedule, pol fault.Policy, mtbf float64, depth, maxCyc int, tracer obsv.Tracer) cell {
 	s := sim.New(net, sim.Config{BufferDepth: depth})
+	s.SetTracer(tracer)
 	for _, m := range msgs {
 		s.MustAdd(m)
 	}
-	r := fault.Runner{Sim: s, Schedule: sch, Recovery: fault.DefaultRecovery(pol), Alg: a}
+	r := fault.Runner{Sim: s, Schedule: sch, Recovery: fault.DefaultRecovery(pol), Alg: a, Tracer: tracer}
 	rep := r.Run(maxCyc)
 	return cell{
 		MTBF: mtbf, Policy: pol.String(),

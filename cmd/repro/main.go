@@ -21,10 +21,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"strings"
 
 	"repro/internal/adaptive"
 	"repro/internal/cdg"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/mcheck"
 	"repro/internal/papernets"
@@ -36,12 +38,31 @@ import (
 )
 
 var (
-	only = flag.String("only", "", "comma-separated experiment list, e.g. e1,e5 (default: all)")
-	deep = flag.Bool("deep", false, "run the expensive variants (multi-copy searches, larger k)")
+	only  = flag.String("only", "", "comma-separated experiment list, e.g. e1,e5 (default: all)")
+	deep  = flag.Bool("deep", false, "run the expensive variants (multi-copy searches, larger k)")
+	obsvF = cli.RegisterObsvFlags()
+	obs   *cli.Observer
 )
+
+// searchOpts overlays the command's observability flags onto a search's
+// base options, so every experiment's exhaustive search reports trace,
+// metrics and progress through the shared -trace/-metrics/-progress
+// flags.
+func searchOpts(o mcheck.SearchOptions) mcheck.SearchOptions {
+	o.Tracer = obs.Tracer
+	o.Progress = obsvF.SearchProgress()
+	o.Metrics = obs.Metrics
+	return o
+}
 
 func main() {
 	flag.Parse()
+	var err error
+	obs, err = obsvF.Open("repro", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer obs.Close()
 	want := map[string]bool{}
 	if *only != "" {
 		for _, e := range strings.Split(*only, ",") {
@@ -89,7 +110,7 @@ func e1() {
 	fmt.Printf("     paper: oblivious (CxN->C), nonminimal, not suffix-closed -> %s\n",
 		check(props.RoutingFuncForm && !props.Minimal && !props.SuffixClosed))
 
-	res := mcheck.Search(pn.Scenario, mcheck.SearchOptions{})
+	res := mcheck.Search(pn.Scenario, searchOpts(mcheck.SearchOptions{}))
 	fmt.Printf("E1.3 exhaustive search (all injection timings + arbitrations): %s over %d states (%.0f states/sec, peak visited %d, %d worker(s))\n",
 		res.Verdict, res.States, res.StatesPerSec, res.PeakVisited, res.Workers)
 	fmt.Printf("     paper Theorem 1: deadlock-free          -> %s\n",
@@ -100,7 +121,7 @@ func e1() {
 	fmt.Printf("     paper Theorem 1                        -> %s\n",
 		check(rep.Verdict == core.DeadlockFree))
 
-	skew := mcheck.Search(pn.Scenario, mcheck.SearchOptions{StallBudget: 1, FreezeInTransitOnly: true})
+	skew := mcheck.Search(pn.Scenario, searchOpts(mcheck.SearchOptions{StallBudget: 1, FreezeInTransitOnly: true}))
 	fmt.Printf("E1.5 with 1 cycle of router skew: %s\n", skew.Verdict)
 	fmt.Printf("     paper Section 6: becomes a deadlock     -> %s\n",
 		check(skew.Verdict == mcheck.VerdictDeadlock))
@@ -108,7 +129,7 @@ func e1() {
 	if *deep {
 		sc := pn.Scenario
 		sc.Msgs = append(append([]sim.MessageSpec(nil), sc.Msgs...), sc.Msgs[0], sc.Msgs[2])
-		multi := mcheck.Search(sc, mcheck.SearchOptions{MaxStates: 50_000_000})
+		multi := mcheck.Search(sc, searchOpts(mcheck.SearchOptions{MaxStates: 50_000_000}))
 		fmt.Printf("E1.6 with extra copies of M1 and M3: %s over %d states\n", multi.Verdict, multi.States)
 		fmt.Printf("     paper Theorem 1 (any rate)              -> %s\n",
 			check(multi.Verdict == mcheck.VerdictNoDeadlock))
@@ -187,7 +208,7 @@ func e3() {
 // e4 — Figure 2 / Theorem 4: a channel shared by exactly two messages
 // outside the cycle always yields a reachable deadlock.
 func e4() {
-	res := mcheck.Search(papernets.Figure2().Scenario, mcheck.SearchOptions{})
+	res := mcheck.Search(papernets.Figure2().Scenario, searchOpts(mcheck.SearchOptions{}))
 	fmt.Printf("E4.1 Figure 2 search: %s over %d states -> %s\n",
 		res.Verdict, res.States, check(res.Verdict == mcheck.VerdictDeadlock))
 
@@ -263,13 +284,13 @@ func e5() {
 }
 
 func groundTruthWithCopies(sc sim.Scenario) bool {
-	if mcheck.Search(sc, mcheck.SearchOptions{MaxStates: 20_000_000}).Verdict == mcheck.VerdictDeadlock {
+	if mcheck.Search(sc, searchOpts(mcheck.SearchOptions{MaxStates: 20_000_000})).Verdict == mcheck.VerdictDeadlock {
 		return false
 	}
 	for pos := range sc.Msgs {
 		out := sc
 		out.Msgs = append(append([]sim.MessageSpec(nil), sc.Msgs...), sc.Msgs[pos])
-		if mcheck.Search(out, mcheck.SearchOptions{MaxStates: 20_000_000}).Verdict == mcheck.VerdictDeadlock {
+		if mcheck.Search(out, searchOpts(mcheck.SearchOptions{MaxStates: 20_000_000})).Verdict == mcheck.VerdictDeadlock {
 			return false
 		}
 	}
@@ -289,9 +310,9 @@ func e6() {
 		pn := papernets.GenK(k)
 		minimal := -1
 		for b := 0; b <= k+2; b++ {
-			res := mcheck.Search(pn.Scenario, mcheck.SearchOptions{
+			res := mcheck.Search(pn.Scenario, searchOpts(mcheck.SearchOptions{
 				StallBudget: b, FreezeInTransitOnly: true, MaxStates: 50_000_000,
-			})
+			}))
 			if res.Verdict == mcheck.VerdictDeadlock {
 				minimal = b
 				break
@@ -400,7 +421,7 @@ func e8() {
 		insts = append(insts, inst{"duato escape protocol (2 VC) ", duSc, mcheck.VerdictNoDeadlock})
 	}
 	for _, in := range insts {
-		res := mcheck.Search(in.sc, mcheck.SearchOptions{MaxStates: 50_000_000})
+		res := mcheck.Search(in.sc, searchOpts(mcheck.SearchOptions{MaxStates: 50_000_000}))
 		fmt.Printf("E8.2 %s exhaustive: %s over %d states (%.0f states/sec) -> %s\n",
 			in.name, res.Verdict, res.States, res.StatesPerSec, check(res.Verdict == in.want))
 	}

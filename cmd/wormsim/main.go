@@ -10,6 +10,14 @@
 //	        -recovery abort-retry
 //	wormsim -topo ring -dims 8 -alg ecube -faults "50:stall:c3:40;200:fail:c7" \
 //	        -recovery reroute
+//	wormsim -paper figure1 -trace figure1.jsonl
+//	wormsim -paper figure1 -trace figure1_waitfor.dot -trace-format dot
+//
+// With -paper the synthetic workload is replaced by one of the paper's
+// fixed scenarios (figure1, figure2, figure3a..f, gen<k>), which makes
+// the tracing flags a microscope for the paper's arguments: tracing
+// figure1 shows every channel acquisition and wait-for edge of the false
+// resource cycle without the full wait-for cycle ever closing.
 //
 // Exit status: 0 when every message reaches a terminal state (delivered,
 // or dropped by the recovery policy), 2 on deadlock, 3 on a cycle-budget
@@ -50,7 +58,9 @@ func main() {
 		permfrac  = flag.Float64("permfrac", 0, "fraction of generated channel faults that are permanent")
 		faultseed = flag.Int64("faultseed", 1, "fault generation seed")
 		recovery  = flag.String("recovery", "", "recovery policy: abort-retry, drop, reroute (empty = detect only)")
+		paper     = flag.String("paper", "", "run a paper scenario instead of a synthetic workload: figure1, figure2, figure3a..f, gen<k>")
 	)
+	obsvF := cli.RegisterObsvFlags()
 	flag.Parse()
 
 	var (
@@ -59,9 +69,20 @@ func main() {
 		oblAlg routing.Algorithm
 		name   string
 		msgs   []sim.MessageSpec
+		cfg    sim.Config
 		err    error
 	)
-	if cli.AdaptiveNames[*alg] {
+	if *paper != "" {
+		pn, perr := cli.PaperNet(*paper)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		sc := pn.Scenario
+		net, oblAlg, name, msgs, cfg = sc.Net, pn.Alg, sc.Name, sc.Msgs, sc.Cfg
+		if *depth > 1 {
+			cfg.BufferDepth = *depth
+		}
+	} else if cli.AdaptiveNames[*alg] {
 		a, g, berr := cli.BuildAdaptive(*topo, *alg, *dims, *vcs)
 		if berr != nil {
 			log.Fatal(berr)
@@ -81,8 +102,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *paper == "" {
+		cfg = sim.Config{BufferDepth: *depth}
+	}
 
-	s := sim.New(net, sim.Config{BufferDepth: *depth})
+	obs, err := obsvF.Open(name, cli.ChannelLanes(net))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := sim.New(net, cfg)
+	s.SetTracer(obs.Tracer)
 	for _, m := range msgs {
 		if _, err := s.Add(m); err != nil {
 			log.Fatal(err)
@@ -117,7 +147,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		r := fault.Runner{Sim: s, Schedule: sch, Recovery: fault.DefaultRecovery(pol), Alg: oblAlg}
+		r := fault.Runner{Sim: s, Schedule: sch, Recovery: fault.DefaultRecovery(pol), Alg: oblAlg, Tracer: obs.Tracer}
 		rr := r.Run(*maxCyc)
 		rep, out = &rr, rr.Outcome
 	} else {
@@ -126,7 +156,7 @@ func main() {
 				// Detect-only: a timeout longer than the budget means the
 				// watchdog never intervenes; the run reports what happened.
 				Policy: fault.Drop, Watchdog: fault.Watchdog{CheckEvery: 8, Timeout: *maxCyc + 1},
-			}}
+			}, Tracer: obs.Tracer}
 			rr := r.Run(*maxCyc)
 			rep, out = &rr, rr.Outcome
 		} else {
@@ -134,6 +164,9 @@ func main() {
 		}
 	}
 	stats := sim.Collect(s)
+	if err := obs.Close(); err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("network:    %s (%d nodes, %d channels)\n", net.Name(), net.NumNodes(), net.NumChannels())
 	fmt.Printf("routing:    %s\n", name)
@@ -151,6 +184,9 @@ func main() {
 			rep.FaultsInjected, rep.Interventions, rep.AbortRetries, rep.Reroutes, rep.Drops)
 		fmt.Printf("watchdog:   %d exact deadlocks, %d timeout suspicions, mean recovery latency %.1f cycles\n",
 			rep.DeadlocksDetected, rep.TimeoutSuspicions, rep.MeanRecoveryLatency)
+		for _, w := range rep.Warnings {
+			fmt.Printf("warning:    %s\n", w)
+		}
 	}
 	switch out.Result {
 	case sim.ResultDeadlock:

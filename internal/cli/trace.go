@@ -1,0 +1,184 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/mcheck"
+	"repro/internal/obsv"
+	"repro/internal/topology"
+)
+
+// ObsvFlags holds the observability flags shared by every command:
+// -trace, -trace-format, -metrics and -progress. Register them with
+// RegisterObsvFlags before flag.Parse, then Open an Observer.
+type ObsvFlags struct {
+	Trace       *string
+	TraceFormat *string
+	Metrics     *string
+	Progress    *bool
+}
+
+// RegisterObsvFlags registers the shared observability flags on the
+// default flag set.
+func RegisterObsvFlags() *ObsvFlags {
+	return &ObsvFlags{
+		Trace:       flag.String("trace", "", "write a deterministic trace of the run to this file"),
+		TraceFormat: flag.String("trace-format", "", "trace format: jsonl, dot, chrome (default: inferred from the -trace extension, else jsonl)"),
+		Metrics:     flag.String("metrics", "", "write a metrics snapshot to this file (.prom/.txt = Prometheus text format, else JSON)"),
+		Progress:    flag.Bool("progress", false, "print periodic search progress to stderr"),
+	}
+}
+
+// Enabled reports whether any observability output was requested.
+func (f *ObsvFlags) Enabled() bool {
+	return *f.Trace != "" || *f.Metrics != ""
+}
+
+// Observer bundles the sinks opened from a set of ObsvFlags. Tracer is
+// nil when no tracing or metrics were requested, so it can be handed to
+// sim.SetTracer / SearchOptions.Tracer / fault.Runner.Tracer directly —
+// the producers' nil checks keep the disabled path free.
+type Observer struct {
+	// Tracer fans out to every requested sink; nil when none.
+	Tracer obsv.Tracer
+	// Metrics is the live registry behind -metrics; nil when unset.
+	Metrics *obsv.Registry
+
+	metricsPath string
+	closers     []io.Closer
+	file        *os.File
+}
+
+// traceFormat resolves the output format from the explicit flag or the
+// trace path's extension.
+func traceFormat(format, path string) (string, error) {
+	if format != "" {
+		switch format {
+		case "jsonl", "dot", "chrome":
+			return format, nil
+		}
+		return "", fmt.Errorf("cli: unknown trace format %q (want jsonl, dot, chrome)", format)
+	}
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".dot", ".gv":
+		return "dot", nil
+	case ".json":
+		return "chrome", nil
+	default:
+		return "jsonl", nil
+	}
+}
+
+// Open opens the sinks the flags request. name titles DOT snapshots;
+// lanes (one per channel, see ChannelLanes) names the Chrome trace lanes.
+// The caller must Close the observer to flush the trace and write the
+// metrics snapshot.
+func (f *ObsvFlags) Open(name string, lanes []string) (*Observer, error) {
+	o := &Observer{}
+	var tracers obsv.Multi
+	if *f.Metrics != "" {
+		o.Metrics = obsv.NewRegistry()
+		o.metricsPath = *f.Metrics
+		tracers = append(tracers, obsv.NewMetricsSink(o.Metrics))
+	}
+	if *f.Trace != "" {
+		format, err := traceFormat(*f.TraceFormat, *f.Trace)
+		if err != nil {
+			return nil, err
+		}
+		file, err := os.Create(*f.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("cli: -trace: %w", err)
+		}
+		o.file = file
+		switch format {
+		case "jsonl":
+			s := obsv.NewJSONL(file)
+			tracers = append(tracers, s)
+			o.closers = append(o.closers, s)
+		case "dot":
+			s := obsv.NewDOT(file, name)
+			tracers = append(tracers, s)
+			o.closers = append(o.closers, s)
+		case "chrome":
+			s := obsv.NewChromeTrace(file, lanes)
+			tracers = append(tracers, s)
+			o.closers = append(o.closers, s)
+		}
+	}
+	switch len(tracers) {
+	case 0:
+	case 1:
+		o.Tracer = tracers[0]
+	default:
+		o.Tracer = tracers
+	}
+	return o, nil
+}
+
+// Close flushes and closes the trace sink and writes the metrics
+// snapshot, if any.
+func (o *Observer) Close() error {
+	var first error
+	for _, c := range o.closers {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if o.file != nil {
+		if err := o.file.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if o.Metrics != nil && o.metricsPath != "" {
+		file, err := os.Create(o.metricsPath)
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			return first
+		}
+		switch strings.ToLower(filepath.Ext(o.metricsPath)) {
+		case ".prom", ".txt":
+			err = o.Metrics.WritePrometheus(file)
+		default:
+			err = o.Metrics.WriteJSON(file)
+		}
+		if cerr := file.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// SearchProgress returns a periodic-progress callback printing to stderr
+// when -progress is set, nil otherwise. The callback carries wall-clock
+// rates and is deliberately kept out of the deterministic trace.
+func (f *ObsvFlags) SearchProgress() func(mcheck.ProgressInfo) {
+	if !*f.Progress {
+		return nil
+	}
+	return func(p mcheck.ProgressInfo) {
+		fmt.Fprintf(os.Stderr, "search: level %d, frontier %d, %d states, %.0f states/sec, %s\n",
+			p.Level, p.Frontier, p.States, p.StatesPerSec, p.Elapsed.Round(1e7))
+	}
+}
+
+// ChannelLanes names one Chrome-trace lane per channel of the network,
+// in channel-ID order.
+func ChannelLanes(net *topology.Network) []string {
+	lanes := make([]string, net.NumChannels())
+	for c := range lanes {
+		ch := net.Channel(topology.ChannelID(c))
+		lanes[c] = fmt.Sprintf("c%d %d->%d", c, ch.Src, ch.Dst)
+	}
+	return lanes
+}

@@ -1,13 +1,34 @@
 package fault
 
 import (
+	"fmt"
 	"sort"
 
+	"repro/internal/obsv"
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/waitfor"
 )
+
+// Warning is one structured campaign warning: an event the run survived
+// but an operator should see — a reroute that fell back to the old path,
+// a recovery that had to drop a message, a Section 6 freeze expiring.
+// Warnings are part of the Report, so faultsweep serializes them and
+// wormsim prints them instead of staying silent.
+type Warning struct {
+	Cycle int    `json:"cycle"`
+	Msg   int    `json:"msg"` // message ID, -1 when not message-related
+	Text  string `json:"text"`
+}
+
+// String renders the warning for human consumption.
+func (w Warning) String() string {
+	if w.Msg >= 0 {
+		return fmt.Sprintf("cycle %d: m%d: %s", w.Cycle, w.Msg, w.Text)
+	}
+	return fmt.Sprintf("cycle %d: %s", w.Cycle, w.Text)
+}
 
 // Report is the outcome of a fault-injected, recovery-supervised run.
 type Report struct {
@@ -15,6 +36,9 @@ type Report struct {
 	Result  string      `json:"result"`
 	Cycles  int         `json:"cycles"`
 	Stats   sim.Stats   `json:"stats"`
+
+	// Warnings collects the run's structured warnings in cycle order.
+	Warnings []Warning `json:"warnings,omitempty"`
 
 	FaultsInjected int `json:"faults_injected"`
 	// Interventions counts watchdog actions of any kind.
@@ -45,6 +69,22 @@ type Runner struct {
 	// path for fault-bystander messages; nil falls back to plain BFS over
 	// live channels.
 	Alg routing.Algorithm
+	// Tracer, when set, receives fault, recovery and warning events (the
+	// simulator's own events flow through Sim.SetTracer separately). Nil
+	// disables runner tracing.
+	Tracer obsv.Tracer
+}
+
+// warn records a structured warning on the report and mirrors it to the
+// tracer.
+func (r *Runner) warn(rep *Report, cycle, msg int, text string) {
+	rep.Warnings = append(rep.Warnings, Warning{Cycle: cycle, Msg: msg, Text: text})
+	if r.Tracer != nil {
+		ev := obsv.Ev(obsv.KindWarning, cycle)
+		ev.Msg = msg
+		ev.Note = text
+		r.Tracer.Event(ev)
+	}
 }
 
 // Run executes up to maxCycles cycles and reports. The loop guarantees
@@ -74,11 +114,29 @@ func (r *Runner) Run(maxCycles int) Report {
 	}
 	lastSweep := -1
 
+	frozen := make([]bool, n)
+	for i := range frozen {
+		frozen[i] = s.Frozen(i) > 0
+	}
+
 	for c := 0; c < maxCycles; c++ {
 		now := s.Now()
 		for evIdx < len(events) && events[evIdx].At <= now {
-			events[evIdx].Apply(s)
+			ev := events[evIdx]
+			ev.Apply(s)
 			rep.FaultsInjected++
+			if r.Tracer != nil {
+				te := obsv.Ev(obsv.KindFault, now)
+				te.Note = ev.Kind.String()
+				te.N = ev.Repair
+				switch ev.Kind {
+				case LinkFail, LinkStall:
+					te.Ch = ev.Channel
+				case MessageFreeze:
+					te.Msg = ev.Message
+				}
+				r.Tracer.Event(te)
+			}
 			evIdx++
 		}
 		if s.AllTerminal() {
@@ -86,6 +144,14 @@ func (r *Runner) Run(maxCycles int) Report {
 		}
 		s.Step()
 		now = s.Now()
+
+		for id := 0; id < n; id++ {
+			f := s.Frozen(id) > 0
+			if frozen[id] && !f {
+				r.warn(&rep, now, id, "freeze expired; message resumes contention")
+			}
+			frozen[id] = f
+		}
 
 		for id := 0; id < n; id++ {
 			mv := s.Message(id)
@@ -148,6 +214,12 @@ func (r *Runner) sweep(rep *Report, stamp, recoveryStart []int, forced bool) {
 	// only trusted when the state is quiescent.)
 	if d := waitfor.Find(s); d != nil && (forced || r.cycleCertain(d)) {
 		rep.DeadlocksDetected++
+		if r.Tracer != nil {
+			ev := obsv.Ev(obsv.KindDeadlock, now)
+			ev.N = len(d.Cycle)
+			ev.Note = "definition-6 cycle"
+			r.Tracer.Event(ev)
+		}
 		r.intervene(rep, recoveryStart, r.youngest(d.Cycle), now)
 		return
 	}
@@ -215,25 +287,40 @@ func (r *Runner) intervene(rep *Report, recoveryStart []int, id, now int) {
 		recoveryStart[id] = now
 	}
 
-	drop := func() {
+	recovery := func(action string) {
+		if r.Tracer != nil {
+			ev := obsv.Ev(obsv.KindRecovery, now)
+			ev.Msg = id
+			ev.Note = action
+			r.Tracer.Event(ev)
+		}
+	}
+	drop := func(why string) {
 		s.DropMessage(id)
 		rep.Drops++
+		recovery("drop")
+		r.warn(rep, now, id, "message dropped: "+why)
 	}
 
 	switch r.Recovery.Policy {
 	case Drop:
-		drop()
+		drop("drop policy")
 		return
 	case AbortRetry:
-		if r.hopeless(id) || r.retriesExhausted(id) {
-			drop()
+		if r.hopeless(id) {
+			drop("path crosses a permanently failed channel")
+			return
+		}
+		if r.retriesExhausted(id) {
+			drop("retry budget exhausted")
 			return
 		}
 		s.ResetMessage(id, now+1+r.backoff(id))
 		rep.AbortRetries++
+		recovery("abort-retry")
 	case Reroute:
 		if r.retriesExhausted(id) {
-			drop()
+			drop("retry budget exhausted")
 			return
 		}
 		mv := s.Message(id)
@@ -241,11 +328,12 @@ func (r *Runner) intervene(rep *Report, recoveryStart []int, id, now int) {
 			// The engine already masks dead candidates for adaptive
 			// messages; a reset from the source is the whole reroute.
 			if r.hopeless(id) {
-				drop()
+				drop("destination unreachable over live channels")
 				return
 			}
 			s.ResetMessage(id, now+1+r.backoff(id))
 			rep.Reroutes++
+			recovery("reroute")
 			return
 		}
 		down := func(c topology.ChannelID) bool { return s.ChannelDown(c) }
@@ -260,20 +348,25 @@ func (r *Runner) intervene(rep *Report, recoveryStart []int, id, now int) {
 			// endpoints a retry on the old path can still win; otherwise the
 			// message is lost.
 			if r.hopeless(id) {
-				drop()
+				drop("destination unreachable over live channels")
 				return
 			}
 			s.ResetMessage(id, now+1+r.backoff(id))
 			rep.AbortRetries++
+			recovery("abort-retry")
+			r.warn(rep, now, id, "reroute found no live path; retrying the old path")
 			return
 		}
 		s.ResetMessage(id, now+1+r.backoff(id))
 		if err := s.SetMessagePath(id, path); err != nil {
 			// The old path stands; the retry alone may still succeed.
 			rep.AbortRetries++
+			recovery("abort-retry")
+			r.warn(rep, now, id, "reroute path rejected ("+err.Error()+"); retrying the old path")
 			return
 		}
 		rep.Reroutes++
+		recovery("reroute")
 	}
 }
 

@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obsv"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/waitfor"
@@ -107,6 +108,34 @@ type SearchOptions struct {
 	// GOMAXPROCS. The result is identical for every value; only wall
 	// time changes.
 	Parallelism int
+
+	// Tracer, when set, receives one obsv.KindSearchLevel event per BFS
+	// level and a final obsv.KindSearchDone. Events are emitted from the
+	// single-threaded merge and carry only logical quantities (level,
+	// frontier size, state count), so the traced sequence is identical
+	// across Parallelism values. Nil disables search tracing at the cost
+	// of one branch per level.
+	Tracer obsv.Tracer
+	// Progress, when set, is called periodically with live search
+	// telemetry — unlike Tracer it carries wall-clock rates and is meant
+	// for interactive feedback (stderr), not for deterministic artifacts.
+	Progress func(ProgressInfo)
+	// ProgressEvery throttles Progress calls to at most one per interval
+	// (plus one per level boundary check). 0 means a 2s default.
+	ProgressEvery time.Duration
+	// Metrics, when set, receives live search gauges (level, frontier
+	// size, peak frontier, states) and, at the end, the visited-set
+	// shard-load histogram.
+	Metrics *obsv.Registry
+}
+
+// ProgressInfo is one periodic search progress report.
+type ProgressInfo struct {
+	Level        int // BFS level (network cycle depth) being merged
+	Frontier     int // states in the current level
+	States       int // distinct states accepted so far
+	Elapsed      time.Duration
+	StatesPerSec float64
 }
 
 // DefaultMaxStates bounds state exploration when SearchOptions.MaxStates
@@ -347,6 +376,7 @@ func Search(sc sim.Scenario, opts SearchOptions) SearchResult {
 	nodes := []provNode{{parent: -1, dec: -1}}
 	frontier := []frontierEntry{{s: root, budget: opts.StallBudget, node: 0}}
 	states := 1
+	level := 0
 
 	finish := func(r SearchResult) SearchResult {
 		r.Elapsed = time.Since(start)
@@ -355,10 +385,62 @@ func Search(sc sim.Scenario, opts SearchOptions) SearchResult {
 		}
 		r.PeakVisited = eng.visited.size()
 		r.Workers = workers
+		if opts.Tracer != nil {
+			ev := obsv.Ev(obsv.KindSearchDone, 0)
+			ev.N = r.States
+			ev.Note = r.Verdict.String()
+			opts.Tracer.Event(ev)
+		}
+		if opts.Metrics != nil {
+			opts.Metrics.Gauge("mcheck_states").Set(int64(r.States))
+			opts.Metrics.Gauge("mcheck_peak_visited").Set(int64(r.PeakVisited))
+			opts.Metrics.Gauge("mcheck_workers").Set(int64(r.Workers))
+			shardLoad := opts.Metrics.Histogram("mcheck_visited_shard_entries", nil)
+			for _, n := range eng.visited.shardSizes() {
+				shardLoad.Observe(float64(n))
+			}
+		}
+		if opts.Progress != nil {
+			r2 := r
+			opts.Progress(ProgressInfo{Level: level, States: r2.States, Elapsed: r2.Elapsed, StatesPerSec: r2.StatesPerSec})
+		}
 		return r
 	}
 
+	progressEvery := opts.ProgressEvery
+	if progressEvery <= 0 {
+		progressEvery = 2 * time.Second
+	}
+	lastProgress := start
+
 	for len(frontier) > 0 {
+		// Per-level telemetry. The trace event is emitted here — before
+		// the level's merge, from this single goroutine — so the traced
+		// sequence is the same for every Parallelism value.
+		if opts.Tracer != nil {
+			ev := obsv.Ev(obsv.KindSearchLevel, level)
+			ev.N = len(frontier)
+			ev.M = states
+			opts.Tracer.Event(ev)
+		}
+		if opts.Metrics != nil {
+			opts.Metrics.Gauge("mcheck_search_level").Set(int64(level))
+			opts.Metrics.Gauge("mcheck_frontier_size").Set(int64(len(frontier)))
+			opts.Metrics.Gauge("mcheck_frontier_peak").Max(int64(len(frontier)))
+			opts.Metrics.Gauge("mcheck_states").Set(int64(states))
+		}
+		if opts.Progress != nil {
+			if now := time.Now(); now.Sub(lastProgress) >= progressEvery {
+				lastProgress = now
+				elapsed := now.Sub(start)
+				sps := 0.0
+				if secs := elapsed.Seconds(); secs > 0 {
+					sps = float64(states) / secs
+				}
+				opts.Progress(ProgressInfo{Level: level, Frontier: len(frontier), States: states, Elapsed: elapsed, StatesPerSec: sps})
+			}
+		}
+
 		results := make([]expandResult, len(frontier))
 		eng.expandLevel(frontier, results)
 
@@ -400,6 +482,7 @@ func Search(sc sim.Scenario, opts SearchOptions) SearchResult {
 			eng.putSim(cur.s)
 		}
 		frontier = next
+		level++
 	}
 	return finish(SearchResult{Verdict: VerdictNoDeadlock, States: states})
 }

@@ -102,6 +102,20 @@ func (v *visitedSet) insert(h uint64, enc []byte, budget int) bool {
 	return true
 }
 
+// shardSizes returns the entry count of every shard, in shard order. The
+// metrics layer exports it as a load histogram: a healthy maphash spread
+// keeps the shards within a small factor of each other.
+func (v *visitedSet) shardSizes() []int {
+	sizes := make([]int, visitedShards)
+	for i := range v.shards {
+		sh := &v.shards[i]
+		sh.mu.RLock()
+		sizes[i] = len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return sizes
+}
+
 // size returns the number of distinct state encodings recorded.
 func (v *visitedSet) size() int {
 	n := 0

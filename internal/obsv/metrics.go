@@ -1,0 +1,375 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/topology"
+)
+
+// Registry is a metrics registry: named counters, gauges and histograms
+// with a Prometheus text-format exporter and a deterministic JSON snapshot
+// exporter. Series are created on first use and are safe for concurrent
+// update; exports are sorted by name so two snapshots of identical state
+// are byte-identical.
+//
+// Series names may carry labels in canonical Prometheus form, e.g.
+// `sim_channel_occupancy_cycles{channel="3"}` (see Label); the exporter
+// groups label variants under one TYPE header per base name.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Label renders one key="value" label pair onto a metric name.
+func Label(name, key string, value any) string {
+	return fmt.Sprintf("%s{%s=%q}", name, key, fmt.Sprint(value))
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an integer metric that may go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Max raises the value to n if n is larger.
+func (g *Gauge) Max(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a cumulative-bucket histogram over float64 observations.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // ascending upper bounds; +Inf implicit
+	buckets []int64   // len(bounds)+1, last is the +Inf bucket
+	sum     float64
+	count   int64
+}
+
+// DefaultBuckets is the power-of-two bucket ladder used when a histogram
+// is created without explicit bounds: suitable for cycle counts and sizes.
+var DefaultBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i]++
+	h.sum += v
+	h.count++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// bounds (nil means DefaultBuckets) if needed. Bounds are fixed at
+// creation; later calls ignore the argument.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		if bounds == nil {
+			bounds = DefaultBuckets
+		}
+		h = &Histogram{
+			bounds:  append([]float64(nil), bounds...),
+			buckets: make([]int64, len(bounds)+1),
+		}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// baseName strips a label suffix: `foo{bar="1"}` -> `foo`.
+func baseName(series string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i]
+	}
+	return series
+}
+
+// fmtFloat renders a float the way the Prometheus text format expects.
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every series in Prometheus text exposition
+// format, sorted by series name, with one TYPE header per base name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var names []string
+	kind := make(map[string]string)
+	for n := range r.counters {
+		names = append(names, n)
+		kind[n] = "counter"
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+		kind[n] = "gauge"
+	}
+	for n := range r.histograms {
+		names = append(names, n)
+		kind[n] = "histogram"
+	}
+	sort.Strings(names)
+	typed := make(map[string]bool)
+	for _, n := range names {
+		base := baseName(n)
+		if !typed[base] {
+			typed[base] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind[n]); err != nil {
+				return err
+			}
+		}
+		switch kind[n] {
+		case "counter":
+			fmt.Fprintf(w, "%s %d\n", n, r.counters[n].Value())
+		case "gauge":
+			fmt.Fprintf(w, "%s %d\n", n, r.gauges[n].Value())
+		case "histogram":
+			h := r.histograms[n]
+			h.mu.Lock()
+			cum := int64(0)
+			for i, bound := range h.bounds {
+				cum += h.buckets[i]
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, fmtFloat(bound), cum)
+			}
+			cum += h.buckets[len(h.bounds)]
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
+			fmt.Fprintf(w, "%s_sum %s\n", n, fmtFloat(h.sum))
+			fmt.Fprintf(w, "%s_count %d\n", n, h.count)
+			h.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes a deterministic JSON snapshot: one object with
+// "counters", "gauges" and "histograms" sections, series sorted by name.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	b.WriteString("{\n  \"counters\": {")
+	writeScalarSection(&b, sortedKeys(r.counters), func(n string) string {
+		return strconv.FormatInt(r.counters[n].Value(), 10)
+	})
+	b.WriteString("},\n  \"gauges\": {")
+	writeScalarSection(&b, sortedKeys(r.gauges), func(n string) string {
+		return strconv.FormatInt(r.gauges[n].Value(), 10)
+	})
+	b.WriteString("},\n  \"histograms\": {")
+	names := sortedKeys(r.histograms)
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		h := r.histograms[n]
+		h.mu.Lock()
+		fmt.Fprintf(&b, "\n    %s: {\"count\": %d, \"sum\": %s, \"buckets\": {", strconv.Quote(n), h.count, fmtFloat(h.sum))
+		cum := int64(0)
+		for j, bound := range h.bounds {
+			cum += h.buckets[j]
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%q: %d", fmtFloat(bound), cum)
+		}
+		if len(h.bounds) > 0 {
+			b.WriteString(", ")
+		}
+		cum += h.buckets[len(h.bounds)]
+		fmt.Fprintf(&b, "\"+Inf\": %d}}", cum)
+		h.mu.Unlock()
+	}
+	if len(names) > 0 {
+		b.WriteString("\n  ")
+	}
+	b.WriteString("}\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func writeScalarSection(b *strings.Builder, names []string, value func(string) string) {
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, "\n    %s: %s", strconv.Quote(n), value(n))
+	}
+	if len(names) > 0 {
+		b.WriteString("\n  ")
+	}
+}
+
+// MetricsSink is a Tracer that folds the event stream into a Registry:
+// flits delivered, channel acquisitions, per-channel occupancy histograms,
+// block/unblock counts with blocked-duration histograms, faults,
+// recoveries and warnings. Attach it (alone, or in a Multi alongside a
+// trace sink) and export the registry at the end of the run.
+type MetricsSink struct {
+	R *Registry
+	// PerChannel adds per-channel labeled occupancy counters on top of the
+	// aggregate histogram (one series per channel — enable only for small
+	// networks).
+	PerChannel bool
+
+	acquiredAt map[topology.ChannelID]int
+	blockedAt  map[int]int
+}
+
+// NewMetricsSink returns a sink recording into r.
+func NewMetricsSink(r *Registry) *MetricsSink {
+	return &MetricsSink{
+		R:          r,
+		acquiredAt: make(map[topology.ChannelID]int),
+		blockedAt:  make(map[int]int),
+	}
+}
+
+// Event implements Tracer.
+func (m *MetricsSink) Event(e Event) {
+	switch e.Kind {
+	case KindInject:
+		m.R.Counter("sim_messages_injected_total").Inc()
+	case KindFlit:
+		m.R.Counter("sim_flits_moved_total").Inc()
+	case KindConsume:
+		m.R.Counter("sim_flits_delivered_total").Inc()
+	case KindDeliver:
+		m.R.Counter("sim_messages_delivered_total").Inc()
+		m.R.Histogram("sim_message_latency_cycles", nil).Observe(float64(e.N))
+	case KindAcquire:
+		m.R.Counter("sim_channel_acquires_total").Inc()
+		m.acquiredAt[e.Ch] = e.Cycle
+	case KindRelease:
+		if at, ok := m.acquiredAt[e.Ch]; ok {
+			delete(m.acquiredAt, e.Ch)
+			held := float64(e.Cycle - at + 1)
+			m.R.Histogram("sim_channel_occupancy_cycles", nil).Observe(held)
+			if m.PerChannel {
+				m.R.Counter(Label("sim_channel_held_cycles_total", "channel", int(e.Ch))).Add(int64(held))
+			}
+		}
+	case KindBlock:
+		m.R.Counter("sim_blocks_total").Inc()
+		m.blockedAt[e.Msg] = e.Cycle
+	case KindUnblock:
+		if at, ok := m.blockedAt[e.Msg]; ok {
+			delete(m.blockedAt, e.Msg)
+			blocked := float64(e.Cycle - at)
+			m.R.Counter("sim_cycles_blocked_total").Add(int64(blocked))
+			m.R.Histogram("sim_blocked_duration_cycles", nil).Observe(blocked)
+		}
+	case KindThaw:
+		m.R.Counter("sim_freeze_expiries_total").Inc()
+	case KindFault:
+		m.R.Counter("fault_injected_total").Inc()
+		m.R.Counter(Label("fault_injected_by_kind_total", "kind", e.Note)).Inc()
+	case KindRecovery:
+		m.R.Counter("fault_interventions_total").Inc()
+		m.R.Counter(Label("fault_interventions_by_action_total", "action", e.Note)).Inc()
+	case KindWarning:
+		m.R.Counter("warnings_total").Inc()
+	case KindDeadlock:
+		m.R.Counter("sim_deadlocks_detected_total").Inc()
+	case KindSearchLevel:
+		m.R.Gauge("mcheck_search_level").Set(int64(e.Cycle))
+		m.R.Gauge("mcheck_frontier_size").Set(int64(e.N))
+		m.R.Gauge("mcheck_frontier_peak").Max(int64(e.N))
+		m.R.Gauge("mcheck_states").Set(int64(e.M))
+	case KindSearchDone:
+		m.R.Gauge("mcheck_states").Set(int64(e.N))
+	}
+}

@@ -1,0 +1,184 @@
+package obsv
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits_total")
+	c.Inc()
+	c.Add(4)
+	if r.Counter("hits_total") != c {
+		t.Error("Counter should return the same series on re-lookup")
+	}
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	g.Max(3) // below current: no-op
+	if g.Value() != 5 {
+		t.Errorf("gauge = %d, want 5", g.Value())
+	}
+	g.Max(11)
+	if g.Value() != 11 {
+		t.Errorf("gauge after Max = %d, want 11", g.Value())
+	}
+
+	h := r.Histogram("lat", []float64{1, 10})
+	for _, v := range []float64{0.5, 1, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 106.5 {
+		t.Errorf("histogram count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if got := Label("held_total", "channel", 3); got != `held_total{channel="3"}` {
+		t.Errorf("Label = %s", got)
+	}
+	if got := baseName(`held_total{channel="3"}`); got != "held_total" {
+		t.Errorf("baseName = %s", got)
+	}
+	if got := baseName("plain"); got != "plain" {
+		t.Errorf("baseName = %s", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter(Label("a_by_kind_total", "kind", "fail")).Inc()
+	r.Counter(Label("a_by_kind_total", "kind", "stall")).Add(3)
+	r.Gauge("level").Set(9)
+	h := r.Histogram("lat", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE a_by_kind_total counter
+a_by_kind_total{kind="fail"} 1
+a_by_kind_total{kind="stall"} 3
+# TYPE b_total counter
+b_total 2
+# TYPE lat histogram
+lat_bucket{le="1"} 1
+lat_bucket{le="10"} 2
+lat_bucket{le="+Inf"} 3
+lat_sum 55.5
+lat_count 3
+# TYPE level gauge
+level 9
+`
+	if sb.String() != want {
+		t.Errorf("Prometheus output:\n%s\nwant:\n%s", sb.String(), want)
+	}
+
+	// One TYPE header per base name even with multiple label variants.
+	if strings.Count(sb.String(), "# TYPE a_by_kind_total") != 1 {
+		t.Error("duplicate TYPE header for labeled series")
+	}
+}
+
+func TestWriteJSONDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total").Inc()
+	r.Counter("a_total").Add(2)
+	r.Gauge("g").Set(-4)
+	r.Histogram("h", []float64{2}).Observe(1)
+
+	var first, second strings.Builder
+	if err := r.WriteJSON(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Error("two snapshots of identical state differ")
+	}
+	want := `{
+  "counters": {
+    "a_total": 2,
+    "z_total": 1
+  },
+  "gauges": {
+    "g": -4
+  },
+  "histograms": {
+    "h": {"count": 1, "sum": 1, "buckets": {"2": 1, "+Inf": 1}}
+  }
+}
+`
+	if first.String() != want {
+		t.Errorf("JSON snapshot:\n%s\nwant:\n%s", first.String(), want)
+	}
+}
+
+func TestMetricsSinkFoldsEvents(t *testing.T) {
+	r := NewRegistry()
+	s := NewMetricsSink(r)
+
+	inject := Ev(KindInject, 0)
+	inject.Msg = 0
+	s.Event(inject)
+
+	acq := Ev(KindAcquire, 0)
+	acq.Msg = 0
+	acq.Ch = topology.ChannelID(2)
+	s.Event(acq)
+
+	blk := Ev(KindBlock, 1)
+	blk.Msg = 0
+	blk.Ch = topology.ChannelID(3)
+	blk.Owner = 1
+	s.Event(blk)
+
+	unb := Ev(KindUnblock, 4)
+	unb.Msg = 0
+	s.Event(unb)
+
+	rel := Ev(KindRelease, 5)
+	rel.Msg = 0
+	rel.Ch = topology.ChannelID(2)
+	s.Event(rel)
+
+	del := Ev(KindDeliver, 6)
+	del.Msg = 0
+	del.N = 7
+	s.Event(del)
+
+	flt := Ev(KindFault, 2)
+	flt.Note = "fail"
+	s.Event(flt)
+
+	if got := r.Counter("sim_messages_injected_total").Value(); got != 1 {
+		t.Errorf("injected = %d", got)
+	}
+	if got := r.Counter("sim_cycles_blocked_total").Value(); got != 3 {
+		t.Errorf("cycles blocked = %d, want 3 (cycle 1 to 4)", got)
+	}
+	if got := r.Histogram("sim_channel_occupancy_cycles", nil).Count(); got != 1 {
+		t.Errorf("occupancy observations = %d", got)
+	}
+	if got := r.Histogram("sim_channel_occupancy_cycles", nil).Sum(); got != 6 {
+		t.Errorf("occupancy sum = %v, want 6 (held cycles 0-5 inclusive)", got)
+	}
+	if got := r.Histogram("sim_message_latency_cycles", nil).Sum(); got != 7 {
+		t.Errorf("latency sum = %v, want 7", got)
+	}
+	if got := r.Counter(Label("fault_injected_by_kind_total", "kind", "fail")).Value(); got != 1 {
+		t.Errorf("fault by kind = %d", got)
+	}
+}

@@ -18,6 +18,8 @@ func (s *Sim) Reset() {
 	s.waitingSince = s.waitingSince[:0]
 	s.lastMoved = false
 	s.lastThawed = false
+	s.waitCh = s.waitCh[:0]
+	s.waitOwner = s.waitOwner[:0]
 }
 
 // CopyFrom overwrites s with a deep copy of src, reusing s's existing

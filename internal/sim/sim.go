@@ -44,6 +44,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obsv"
 	"repro/internal/topology"
 )
 
@@ -168,6 +169,16 @@ type Sim struct {
 	// or a frozen-but-otherwise-idle network would be misreported as
 	// deadlocked one cycle early.
 	lastThawed bool
+
+	// tracer receives trace events while attached; nil (the default) is
+	// the disabled state, guarded by one branch per emission site. Clone
+	// and CopyFrom never propagate it: search clones stay silent.
+	tracer obsv.Tracer
+	// waitCh/waitOwner remember the last wait-for edge reported per
+	// message, so Step can emit block/unblock and wait-edge add/del
+	// transitions. Maintained only while a tracer is attached.
+	waitCh    []topology.ChannelID
+	waitOwner []int
 }
 
 // New returns an empty simulator for net.
@@ -239,6 +250,19 @@ func (s *Sim) MustAdd(spec MessageSpec) int {
 	}
 	return id
 }
+
+// SetTracer attaches (or, with nil, detaches) a trace event consumer.
+// Events carry only logical quantities, so for a fixed scenario and
+// schedule the emitted sequence is deterministic. The tracer is never
+// copied by Clone or CopyFrom.
+func (s *Sim) SetTracer(t obsv.Tracer) {
+	s.tracer = t
+	s.waitCh = s.waitCh[:0]
+	s.waitOwner = s.waitOwner[:0]
+}
+
+// Tracer returns the attached tracer, nil when tracing is disabled.
+func (s *Sim) Tracer() obsv.Tracer { return s.tracer }
 
 // Now returns the current cycle.
 func (s *Sim) Now() int { return s.now }
@@ -371,6 +395,12 @@ func (s *Sim) Dropped(id int) bool { return s.msgs[id].dropped }
 func (s *Sim) clearFromNetwork(m *message) {
 	for _, c := range m.path {
 		if s.owner[c] == m.id {
+			if s.tracer != nil {
+				ev := obsv.Ev(obsv.KindRelease, s.now)
+				ev.Msg = m.id
+				ev.Ch = c
+				s.tracer.Event(ev)
+			}
 			s.owner[c] = -1
 		}
 	}
@@ -726,6 +756,15 @@ func (s *Sim) step(picks map[topology.ChannelID]int) StepResult {
 	moved := false
 	var releases []topology.ChannelID
 	release := func(c topology.ChannelID) {
+		if s.tracer != nil {
+			// The owner is still recorded at release time in both handoff
+			// modes: strict mode clears it in phase 3, same-cycle mode on
+			// the next line.
+			ev := obsv.Ev(obsv.KindRelease, s.now)
+			ev.Msg = s.owner[c]
+			ev.Ch = c
+			s.tracer.Event(ev)
+		}
 		if s.cfg.SameCycleHandoff {
 			s.owner[c] = -1
 		} else {
@@ -761,13 +800,75 @@ func (s *Sim) step(picks map[topology.ChannelID]int) StepResult {
 		if m.frozen > 0 {
 			m.frozen--
 			thawed = true
+			if s.tracer != nil && m.frozen == 0 {
+				ev := obsv.Ev(obsv.KindThaw, s.now)
+				ev.Msg = m.id
+				s.tracer.Event(ev)
+			}
 		}
 		m.mask = topology.None
+	}
+	if s.tracer != nil {
+		s.traceWaits()
 	}
 	s.now++
 	s.lastMoved = moved
 	s.lastThawed = thawed
 	return StepResult{Moved: moved}
+}
+
+// traceWaits diffs each message's current Definition 6 wait-for edge
+// against the last one reported and emits the block/unblock and
+// wait-edge add/del transitions. Runs at the end of Step — after
+// movement and releases — and only while a tracer is attached, so an
+// untraced Step never reaches it.
+func (s *Sim) traceWaits() {
+	for len(s.waitCh) < len(s.msgs) {
+		s.waitCh = append(s.waitCh, topology.None)
+		s.waitOwner = append(s.waitOwner, -1)
+	}
+	for _, m := range s.msgs {
+		ch, owner, ok := s.WaitsFor(m.id)
+		had := s.waitCh[m.id] != topology.None
+		if !ok {
+			if had {
+				ev := obsv.Ev(obsv.KindWaitEdgeDel, s.now)
+				ev.Msg = m.id
+				ev.Ch = s.waitCh[m.id]
+				ev.Owner = s.waitOwner[m.id]
+				s.tracer.Event(ev)
+				ev.Kind = obsv.KindUnblock
+				s.tracer.Event(ev)
+				s.waitCh[m.id] = topology.None
+				s.waitOwner[m.id] = -1
+			}
+			continue
+		}
+		if had && s.waitCh[m.id] == ch && s.waitOwner[m.id] == owner {
+			continue
+		}
+		if had {
+			// Retargeted while still blocked: swap the edge, no unblock.
+			ev := obsv.Ev(obsv.KindWaitEdgeDel, s.now)
+			ev.Msg = m.id
+			ev.Ch = s.waitCh[m.id]
+			ev.Owner = s.waitOwner[m.id]
+			s.tracer.Event(ev)
+		} else {
+			ev := obsv.Ev(obsv.KindBlock, s.now)
+			ev.Msg = m.id
+			ev.Ch = ch
+			ev.Owner = owner
+			s.tracer.Event(ev)
+		}
+		ev := obsv.Ev(obsv.KindWaitEdgeAdd, s.now)
+		ev.Msg = m.id
+		ev.Ch = ch
+		ev.Owner = owner
+		s.tracer.Event(ev)
+		s.waitCh[m.id] = ch
+		s.waitOwner[m.id] = owner
+	}
 }
 
 // moveMessage advances one message's flits front to back for one cycle,
@@ -785,6 +886,12 @@ func (s *Sim) moveMessage(m *message, granted map[int]topology.ChannelID, releas
 	// granted channel; for oblivious messages the slot already exists.
 	acquire := func(i int, c topology.ChannelID) {
 		s.owner[c] = m.id
+		if s.tracer != nil {
+			ev := obsv.Ev(obsv.KindAcquire, s.now)
+			ev.Msg = m.id
+			ev.Ch = c
+			s.tracer.Event(ev)
+		}
 		if m.adaptive() {
 			m.path = append(m.path, c)
 			m.queued = append(m.queued, 0)
@@ -814,11 +921,23 @@ func (s *Sim) moveMessage(m *message, granted map[int]topology.ChannelID, releas
 				m.consumed++
 				m.headerConsumed = true
 				moved = true
+				if s.tracer != nil {
+					ev := obsv.Ev(obsv.KindConsume, s.now)
+					ev.Msg = m.id
+					ev.Ch = m.path[i]
+					s.tracer.Event(ev)
+				}
 				if m.queued[i] == 0 && s.tailBehind(m, i) == 0 {
 					release(m.path[i])
 				}
 				if m.delivered() {
 					m.deliveredAt = s.now
+					if s.tracer != nil {
+						ev := obsv.Ev(obsv.KindDeliver, s.now)
+						ev.Msg = m.id
+						ev.N = s.now - m.injectedAt + 1
+						s.tracer.Event(ev)
+					}
 				}
 				continue
 			}
@@ -837,6 +956,12 @@ func (s *Sim) moveMessage(m *message, granted map[int]topology.ChannelID, releas
 				m.queued[i]--
 				m.queued[i+1]++
 				moved = true
+				if s.tracer != nil {
+					ev := obsv.Ev(obsv.KindFlit, s.now)
+					ev.Msg = m.id
+					ev.Ch = next
+					s.tracer.Event(ev)
+				}
 				if m.queued[i] == 0 && s.tailBehind(m, i) == 0 {
 					release(m.path[i])
 				}
@@ -866,11 +991,25 @@ func (s *Sim) moveMessage(m *message, granted map[int]topology.ChannelID, releas
 				m.injected++
 				m.injectedAt = s.now
 				moved = true
+				if s.tracer != nil {
+					ev := obsv.Ev(obsv.KindInject, s.now)
+					ev.Msg = m.id
+					ev.Ch = c
+					s.tracer.Event(ev)
+					ev.Kind = obsv.KindAcquire
+					s.tracer.Event(ev)
+				}
 			}
 		} else if first := m.path[0]; s.owner[first] == m.id && m.queued[0] < s.cfg.BufferDepth && !s.down(first) {
 			m.queued[0]++
 			m.injected++
 			moved = true
+			if s.tracer != nil {
+				ev := obsv.Ev(obsv.KindFlit, s.now)
+				ev.Msg = m.id
+				ev.Ch = first
+				s.tracer.Event(ev)
+			}
 		}
 	}
 	return moved
@@ -987,20 +1126,38 @@ type Outcome struct {
 func (s *Sim) Run(maxCycles int) Outcome {
 	for c := 0; c < maxCycles; c++ {
 		if s.AllTerminal() {
-			return s.terminalOutcome()
+			return s.finishRun(s.terminalOutcome())
 		}
 		s.Step()
 		if !s.lastMoved && s.quiescent() {
 			if s.AllTerminal() {
-				return s.terminalOutcome()
+				return s.finishRun(s.terminalOutcome())
 			}
-			return Outcome{Result: ResultDeadlock, Cycles: s.now, Undelivered: s.undelivered(), Dropped: s.droppedIDs()}
+			return s.finishRun(Outcome{Result: ResultDeadlock, Cycles: s.now, Undelivered: s.undelivered(), Dropped: s.droppedIDs()})
 		}
 	}
 	if s.AllTerminal() {
-		return s.terminalOutcome()
+		return s.finishRun(s.terminalOutcome())
 	}
-	return Outcome{Result: ResultTimeout, Cycles: s.now, Undelivered: s.undelivered(), Dropped: s.droppedIDs()}
+	return s.finishRun(Outcome{Result: ResultTimeout, Cycles: s.now, Undelivered: s.undelivered(), Dropped: s.droppedIDs()})
+}
+
+// finishRun emits the end-of-run trace events (an exact deadlock
+// certificate when applicable, then the outcome) and passes the outcome
+// through.
+func (s *Sim) finishRun(out Outcome) Outcome {
+	if s.tracer != nil {
+		if out.Result == ResultDeadlock {
+			ev := obsv.Ev(obsv.KindDeadlock, s.now)
+			ev.N = len(out.Undelivered)
+			s.tracer.Event(ev)
+		}
+		ev := obsv.Ev(obsv.KindOutcome, s.now)
+		ev.N = out.Cycles
+		ev.Note = out.Result.String()
+		s.tracer.Event(ev)
+	}
+	return out
 }
 
 // terminalOutcome classifies an all-terminal state: delivered when every
