@@ -35,6 +35,8 @@ type entry struct {
 	States       int    `json:"states,omitempty"`
 	StatesPerSec int64  `json:"states_per_sec,omitempty"`
 	Verdict      string `json:"verdict,omitempty"`
+	Reduction    string `json:"reduction,omitempty"`
+	StatesPruned int    `json:"states_pruned,omitempty"`
 }
 
 type report struct {
@@ -43,7 +45,10 @@ type report struct {
 	Entries    []entry `json:"benchmarks"`
 }
 
-var quick = flag.Bool("quick", false, "run each benchmark for ~0.1s instead of ~1s")
+var (
+	quick     = flag.Bool("quick", false, "run each benchmark for ~0.1s instead of ~1s")
+	reduction = flag.String("reduction", "all", "reduction mode for the *_Reduced rows (none skips them)")
+)
 
 func bench(f func(b *testing.B)) testing.BenchmarkResult {
 	return testing.Benchmark(f)
@@ -75,6 +80,10 @@ func searchEntry(name string, sc sim.Scenario, opts mcheck.SearchOptions, want m
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		States:      probe.States,
 		Verdict:     probe.Verdict.String(),
+	}
+	if probe.Reduction != mcheck.RedNone {
+		e.Reduction = probe.Reduction.String()
+		e.StatesPruned = probe.StatesPruned
 	}
 	if e.NsPerOp > 0 {
 		e.StatesPerSec = int64(float64(probe.States) / (float64(e.NsPerOp) / 1e9))
@@ -205,6 +214,58 @@ func main() {
 			s.EncodeTo(&buf)
 		}
 	}))
+
+	// Unreduced Gen(4) at its minimal deadlocking budget: the baseline the
+	// reduction-ratio guard (reduction_guard_test.go) divides against.
+	gen4 := papernets.GenK(4).Scenario
+	gen4Opts := mcheck.SearchOptions{StallBudget: 4, FreezeInTransitOnly: true}
+	add(searchEntry("Gen4_Stall4", gen4, gen4Opts, mcheck.VerdictDeadlock))
+
+	// Reduced variants: the same searches under the state-space
+	// reductions (-reduction selects the mode, "none" skips these rows),
+	// plus the larger Gen(k) instances the reductions make routine.
+	// Unreduced rows keep their historical names, so existing baselines
+	// stay directly comparable.
+	red, err := mcheck.ParseReduction(*reduction)
+	if err != nil {
+		fail("%v", err)
+	}
+	if red != mcheck.RedNone {
+		withRed := func(o mcheck.SearchOptions) mcheck.SearchOptions {
+			o.Reduction = red
+			return o
+		}
+		add(searchEntry("E1_Figure1_Search_Reduced", papernets.Figure1().Scenario,
+			withRed(mcheck.SearchOptions{}), mcheck.VerdictNoDeadlock))
+		add(searchEntry("E3_Figure1_Skew1_Reduced", papernets.Figure1().Scenario,
+			withRed(mcheck.SearchOptions{StallBudget: 1, FreezeInTransitOnly: true}), mcheck.VerdictDeadlock))
+		e5rStates, e5rPruned := 0, 0
+		for _, sc := range figs {
+			res := mcheck.Search(sc, withRed(mcheck.SearchOptions{}))
+			e5rStates += res.States
+			e5rPruned += res.StatesPruned
+		}
+		e5r := plainEntry("E5_Figure3_SearchAll_Reduced", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, sc := range figs {
+					mcheck.Search(sc, withRed(mcheck.SearchOptions{}))
+				}
+			}
+		})
+		e5r.States = e5rStates
+		e5r.Reduction = red.String()
+		e5r.StatesPruned = e5rPruned
+		if e5r.NsPerOp > 0 {
+			e5r.StatesPerSec = int64(float64(e5rStates) / (float64(e5r.NsPerOp) / 1e9))
+		}
+		add(e5r)
+		add(searchEntry("E6_Gen2_Stall2_Reduced", papernets.GenK(2).Scenario,
+			withRed(mcheck.SearchOptions{StallBudget: 2, FreezeInTransitOnly: true}), mcheck.VerdictDeadlock))
+		add(searchEntry("Gen4_Stall4_Reduced", gen4, withRed(gen4Opts), mcheck.VerdictDeadlock))
+		add(searchEntry("Gen5_Stall5_Reduced", papernets.GenK(5).Scenario,
+			withRed(mcheck.SearchOptions{StallBudget: 5, FreezeInTransitOnly: true}), mcheck.VerdictDeadlock))
+	}
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -38,7 +38,9 @@ func main() {
 		workers = flag.Int("workers", 0, "search worker goroutines (0 = GOMAXPROCS; the verdict is identical for every value)")
 	)
 	obsvF := cli.RegisterObsvFlags()
+	redF := cli.RegisterReductionFlag()
 	flag.Parse()
+	red := cli.Reduction(*redF)
 
 	var alg routing.Algorithm
 	var pn *papernets.Net
@@ -71,6 +73,7 @@ func main() {
 		StallBudget:         *stall,
 		FreezeInTransitOnly: true,
 		Parallelism:         *workers,
+		Reduction:           red,
 		Tracer:              obs.Tracer,
 		Progress:            obsvF.SearchProgress(),
 		Metrics:             obs.Metrics,
@@ -120,6 +123,10 @@ func main() {
 			res.Verdict, res.States, *stall)
 		fmt.Printf("            %.0f states/sec, peak visited %d, %d worker(s), %s\n",
 			res.StatesPerSec, res.PeakVisited, res.Workers, res.Elapsed.Round(time.Millisecond))
+		if res.Reduction != mcheck.RedNone {
+			fmt.Printf("            reduction %s: %d candidates pruned, %d sleep-set states, symmetry group %d\n",
+				res.Reduction, res.StatesPruned, res.SleepSetHits, res.SymmetryGroup)
+		}
 		if res.Verdict == mcheck.VerdictDeadlock {
 			fmt.Printf("            deadlock cycle: %s\n", res.Deadlock)
 			fmt.Println("            witness schedule:")

@@ -41,14 +41,17 @@ var (
 	only  = flag.String("only", "", "comma-separated experiment list, e.g. e1,e5 (default: all)")
 	deep  = flag.Bool("deep", false, "run the expensive variants (multi-copy searches, larger k)")
 	obsvF = cli.RegisterObsvFlags()
+	redF  = cli.RegisterReductionFlag()
+	red   mcheck.Reduction
 	obs   *cli.Observer
 )
 
-// searchOpts overlays the command's observability flags onto a search's
-// base options, so every experiment's exhaustive search reports trace,
-// metrics and progress through the shared -trace/-metrics/-progress
-// flags.
+// searchOpts overlays the command's shared flags onto a search's base
+// options, so every experiment's exhaustive search reports through
+// -trace/-metrics/-progress and honors -reduction (verdict-preserving,
+// so the regenerated report is unchanged; only state counts shrink).
 func searchOpts(o mcheck.SearchOptions) mcheck.SearchOptions {
+	o.Reduction = red
 	o.Tracer = obs.Tracer
 	o.Progress = obsvF.SearchProgress()
 	o.Metrics = obs.Metrics
@@ -57,6 +60,7 @@ func searchOpts(o mcheck.SearchOptions) mcheck.SearchOptions {
 
 func main() {
 	flag.Parse()
+	red = cli.Reduction(*redF)
 	var err error
 	obs, err = obsvF.Open("repro", nil)
 	if err != nil {

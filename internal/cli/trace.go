@@ -159,6 +159,25 @@ func (o *Observer) Close() error {
 	return first
 }
 
+// RegisterReductionFlag registers the shared -reduction flag on the
+// default flag set. Resolve the parsed value with cli.Reduction after
+// flag.Parse.
+func RegisterReductionFlag() *string {
+	return flag.String("reduction", "none",
+		"state-space reduction for exhaustive searches: none, por, sym, all (verdict-preserving)")
+}
+
+// Reduction parses a -reduction flag value, exiting with a usage error
+// on an unknown mode.
+func Reduction(value string) mcheck.Reduction {
+	r, err := mcheck.ParseReduction(value)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	return r
+}
+
 // SearchProgress returns a periodic-progress callback printing to stderr
 // when -progress is set, nil otherwise. The callback carries wall-clock
 // rates and is deliberately kept out of the deterministic trace.

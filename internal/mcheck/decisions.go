@@ -26,6 +26,9 @@ import (
 type decisionEnum struct {
 	probe *sim.Sim // scratch: activation + freeze + mask state applied here
 
+	cfg   enumConfig
+	stats *enumStats // nil when the caller doesn't collect statistics
+
 	held    []int
 	movable []int
 	act     []int
@@ -55,12 +58,65 @@ func newDecisionEnum(proto *sim.Sim) *decisionEnum {
 // have at most a handful of messages.
 const maxSubsetItems = 16
 
+// enumConfig selects the enumeration variant. It is part of the ordinal
+// contract: search-time expansion and witness reconstruction must run
+// forEach with the same config, or provenance ordinals would point at
+// different decisions.
+type enumConfig struct {
+	// inTransitOnly mirrors SearchOptions.FreezeInTransitOnly.
+	inTransitOnly bool
+	// por enables the partial-order filters: decisions pruned here are
+	// dominated by other enumerated decisions (see DESIGN §5), so the
+	// reachable-deadlock verdict is unchanged while the branching factor
+	// shrinks. All filters run before fn — and therefore before the
+	// caller clones the simulator — and are deterministic functions of
+	// the state, keeping ordinals aligned between search and rebuild.
+	por bool
+}
+
+// enumStats counts partial-order pruning activity across an enumeration's
+// lifetime (one searchWorker keeps one, summed at search end).
+type enumStats struct {
+	// sleepSets counts expanded states whose sleep set was non-empty.
+	sleepSets int64
+	// sleepSkips counts activation subsets skipped because they included
+	// a sleeping (cannot-inject-this-cycle) message.
+	sleepSkips int64
+	// freezeSkips counts freeze subsets skipped because they froze a
+	// message the same decision just activated.
+	freezeSkips int64
+	// pickSkips counts arbitration combinations skipped because an
+	// activated message lost its entry channel to a rival.
+	pickSkips int64
+}
+
+func (a *enumStats) add(b *enumStats) {
+	a.sleepSets += b.sleepSets
+	a.sleepSkips += b.sleepSkips
+	a.freezeSkips += b.freezeSkips
+	a.pickSkips += b.pickSkips
+}
+
+// intersects reports whether the two small id slices share an element.
+func intersects(a, b []int) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // forEach streams every decision available in state s with the given stall
 // budget to fn, in canonical order. The *Decision passed to fn — including
 // its slices and maps — is scratch storage valid only during the call; the
 // callee must apply or copy it before returning. Returning false from fn
 // stops the enumeration; forEach reports whether it ran to completion.
-func (e *decisionEnum) forEach(s *sim.Sim, budget int, inTransitOnly bool, fn func(d *Decision) bool) bool {
+func (e *decisionEnum) forEach(s *sim.Sim, budget int, cfg enumConfig, stats *enumStats, fn func(d *Decision) bool) bool {
+	e.cfg = cfg
+	e.stats = stats
 	e.held = e.held[:0]
 	for id := 0; id < s.NumMessages(); id++ {
 		if s.Held(id) {
@@ -70,7 +126,37 @@ func (e *decisionEnum) forEach(s *sim.Sim, budget int, inTransitOnly bool, fn fu
 	if len(e.held) > maxSubsetItems {
 		panic("mcheck: subset enumeration over more than 16 items")
 	}
+	// Sleep-set filter: a held message that cannot inject this cycle even
+	// when activated (its entry channel is occupied by a flit that no
+	// predicted release frees) contributes nothing to any decision that
+	// activates it — the successor matches the same decision without the
+	// activation except for the held bit, and the held variant retains
+	// strictly more adversary power. CanAdvance for an uninjected message
+	// is independent of the other activations (predicted releases only
+	// consider fully-injected messages, and activations occupy no
+	// channels), so one probe pass decides every subset.
+	sleep := 0
+	if cfg.por && len(e.held) > 0 {
+		e.probe.CopyFrom(s)
+		for _, id := range e.held {
+			e.probe.SetHeld(id, false)
+		}
+		for i, id := range e.held {
+			if !e.probe.CanAdvance(id) {
+				sleep |= 1 << i
+			}
+		}
+		if sleep != 0 && stats != nil {
+			stats.sleepSets++
+		}
+	}
 	for actMask := 0; actMask < 1<<len(e.held); actMask++ {
+		if actMask&sleep != 0 {
+			if stats != nil {
+				stats.sleepSkips++
+			}
+			continue
+		}
 		e.act = subsetInto(e.act[:0], e.held, actMask)
 		// Freezing depends on which messages can move after activation;
 		// activation only enables injections, which cannot disable any
@@ -86,7 +172,7 @@ func (e *decisionEnum) forEach(s *sim.Sim, budget int, inTransitOnly bool, fn fu
 				if !e.probe.CanAdvance(id) {
 					continue
 				}
-				if inTransitOnly && e.probe.Delivering(id) {
+				if cfg.inTransitOnly && e.probe.Delivering(id) {
 					continue // already delivering: consumption may not stall
 				}
 				e.movable = append(e.movable, id)
@@ -98,6 +184,18 @@ func (e *decisionEnum) forEach(s *sim.Sim, budget int, inTransitOnly bool, fn fu
 		for frzMask := 0; frzMask < 1<<len(e.movable); frzMask++ {
 			e.frz = subsetInto(e.frz[:0], e.movable, frzMask)
 			if len(e.frz) > budget {
+				continue
+			}
+			// Activate-then-freeze futility: freezing a message the same
+			// decision just activated burns a budget unit to keep it out of
+			// the network for the cycle — the decision without either choice
+			// reaches the same state modulo the held bit with a full budget
+			// unit to spare, and holding retains strictly more adversary
+			// power than an unheld source that must inject when it can.
+			if cfg.por && len(e.act) > 0 && intersects(e.frz, e.act) {
+				if stats != nil {
+					stats.freezeSkips++
+				}
 				continue
 			}
 			for _, id := range e.frz {
@@ -184,9 +282,36 @@ func (e *decisionEnum) pickLoop(cons []sim.Contention, masks map[int]topology.Ch
 			}
 			picks = e.picks
 		}
-		d := Decision{Activate: e.act, Freeze: e.frz, Masks: masks, Picks: picks}
-		if !fn(&d) {
-			return false
+		// Pick-loss futility: an activated oblivious message whose entry
+		// channel is contested and granted to a rival cannot inject this
+		// cycle, so the combination is dominated by the same one without
+		// the activation — removing the loser either leaves the grant
+		// unchanged or hands the channel to the very rival these picks
+		// already chose, producing the identical successor modulo the
+		// loser's held bit. (A non-slept activated message always requests
+		// its entry channel, so a contested channel always carries a pick
+		// for it.)
+		skip := false
+		if e.cfg.por && n > 0 {
+			for _, id := range e.act {
+				if e.probe.IsAdaptive(id) {
+					continue
+				}
+				if w, ok := picks[e.probe.PathChannel(id, 0)]; ok && w != id {
+					skip = true
+					break
+				}
+			}
+		}
+		if skip {
+			if e.stats != nil {
+				e.stats.pickSkips++
+			}
+		} else {
+			d := Decision{Activate: e.act, Freeze: e.frz, Masks: masks, Picks: picks}
+			if !fn(&d) {
+				return false
+			}
 		}
 		j := 0
 		for j < n {

@@ -1,0 +1,33 @@
+package mcheck
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// normalizeParallelism resolves a worker-count option: non-positive means
+// one worker per available CPU. Search and Sweep share this so the two
+// engines can never drift on what "default parallelism" means.
+func normalizeParallelism(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// normalizeSearchOptions resolves every defaulted SearchOptions field and
+// applies the scenario's reduction gating, so the engine proper can read
+// the options verbatim and SearchResult can echo exactly what ran.
+func normalizeSearchOptions(sc sim.Scenario, opts SearchOptions) SearchOptions {
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = DefaultMaxStates
+	}
+	opts.Parallelism = normalizeParallelism(opts.Parallelism)
+	if opts.ProgressEvery <= 0 {
+		opts.ProgressEvery = 2 * time.Second
+	}
+	opts.Reduction = effectiveReduction(sc, opts.Reduction)
+	return opts
+}

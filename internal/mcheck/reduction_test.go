@@ -1,0 +1,242 @@
+package mcheck
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/papernets"
+	"repro/internal/waitfor"
+)
+
+// reductionCases is the parity corpus for the reductions: every engine
+// parity case plus the larger Gen(k) instances the reductions exist to
+// make tractable.
+func reductionCases() []parityCase {
+	cases := parityCases()
+	for k := 4; k <= 5; k++ {
+		cases = append(cases, parityCase{
+			name:  fmt.Sprintf("gen%d", k),
+			sc:    papernets.GenK(k).Scenario,
+			opts:  SearchOptions{StallBudget: k, FreezeInTransitOnly: true},
+			heavy: true,
+		})
+	}
+	return cases
+}
+
+// TestReductionParity is the soundness contract of the reductions: for
+// every scenario and every reduction mode, the verdict is identical to
+// the unreduced search, the explored state count never grows, and a
+// deadlock verdict's witness independently replays to a valid
+// Definition 6 cycle. (Traces and state counts are allowed to differ —
+// the reductions prune dominated branches and merge symmetric orbits —
+// but the answer is not.)
+func TestReductionParity(t *testing.T) {
+	for _, tc := range reductionCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.heavy && testing.Short() {
+				t.Skip("heavy reduction parity case; run without -short")
+			}
+			baseOpts := tc.opts
+			baseOpts.Parallelism = 1
+			base := Search(tc.sc, baseOpts)
+			for _, red := range []Reduction{RedPOR, RedSymmetry, RedAll} {
+				t.Run(red.String(), func(t *testing.T) {
+					o := tc.opts
+					o.Parallelism = 1
+					o.Reduction = red
+					r := Search(tc.sc, o)
+					if r.Verdict != base.Verdict {
+						t.Fatalf("reduction %v: verdict %v != unreduced %v", red, r.Verdict, base.Verdict)
+					}
+					if r.States > base.States {
+						t.Fatalf("reduction %v: %d states > unreduced %d", red, r.States, base.States)
+					}
+					if base.Verdict != VerdictDeadlock {
+						return
+					}
+					// The reduced witness must stand on its own: replay it on
+					// a fresh scenario instance and verify the claimed cycle.
+					s := Replay(tc.sc, r.Trace)
+					if err := waitfor.Verify(s, r.Deadlock); err != nil {
+						t.Fatalf("reduction %v: replayed witness invalid: %v", red, err)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestReductionWorkerParity: the determinism contract survives the
+// reductions — a reduced search is byte-identical across worker counts,
+// exactly like the unreduced one.
+func TestReductionWorkerParity(t *testing.T) {
+	for _, tc := range reductionCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.heavy && testing.Short() {
+				t.Skip("heavy reduction parity case; run without -short")
+			}
+			seqOpts := tc.opts
+			seqOpts.Parallelism = 1
+			seqOpts.Reduction = RedAll
+			seq := Search(tc.sc, seqOpts)
+			parOpts := tc.opts
+			parOpts.Parallelism = 4
+			parOpts.Reduction = RedAll
+			par := Search(tc.sc, parOpts)
+			if par.Verdict != seq.Verdict || par.States != seq.States {
+				t.Fatalf("workers=4: (%v, %d states) != sequential (%v, %d states)",
+					par.Verdict, par.States, seq.Verdict, seq.States)
+			}
+			if par.StatesPruned != seq.StatesPruned || par.SleepSetHits != seq.SleepSetHits {
+				t.Fatalf("workers=4: pruning stats (%d, %d) != sequential (%d, %d)",
+					par.StatesPruned, par.SleepSetHits, seq.StatesPruned, seq.SleepSetHits)
+			}
+			if seq.Verdict == VerdictDeadlock && !reflect.DeepEqual(par.Trace, seq.Trace) {
+				t.Fatalf("workers=4: witness trace differs from sequential")
+			}
+		})
+	}
+}
+
+// TestReductionGen4ThreeFold pins the headline scaling claim: on
+// Gen(4) at its critical stall budget the combined reductions explore at
+// most a third of the unreduced state space.
+func TestReductionGen4ThreeFold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gen4 reduction ratio; run without -short")
+	}
+	sc := papernets.GenK(4).Scenario
+	opts := SearchOptions{StallBudget: 4, FreezeInTransitOnly: true}
+	base := Search(sc, opts)
+	opts.Reduction = RedAll
+	red := Search(sc, opts)
+	if red.Verdict != base.Verdict {
+		t.Fatalf("verdict %v != unreduced %v", red.Verdict, base.Verdict)
+	}
+	if base.States < 3*red.States {
+		t.Fatalf("reduction ratio %d/%d < 3x", base.States, red.States)
+	}
+	t.Logf("gen4: %d states unreduced, %d reduced (%.2fx)",
+		base.States, red.States, float64(base.States)/float64(red.States))
+}
+
+// TestReductionStatsReported: the result surfaces what the reductions
+// did — and reports inert zero values when they are off.
+func TestReductionStatsReported(t *testing.T) {
+	sc := papernets.Figure1().Scenario
+	red := Search(sc, SearchOptions{Reduction: RedAll, Parallelism: 1})
+	if red.Reduction != RedAll {
+		t.Fatalf("Reduction = %v, want %v", red.Reduction, RedAll)
+	}
+	if red.StatesPruned == 0 {
+		t.Error("StatesPruned = 0 on a reduced Figure 1 search")
+	}
+	if red.SleepSetHits == 0 {
+		t.Error("SleepSetHits = 0 on a reduced Figure 1 search")
+	}
+	// Figure 1's only scenario symmetry is the half-turn swapping the
+	// M1/M3 and M2/M4 pairs: group of size 2.
+	if red.SymmetryGroup != 2 {
+		t.Errorf("SymmetryGroup = %d, want 2", red.SymmetryGroup)
+	}
+
+	base := Search(sc, SearchOptions{Parallelism: 1})
+	if base.Reduction != RedNone || base.StatesPruned != 0 || base.SleepSetHits != 0 {
+		t.Errorf("unreduced search reports reduction activity: %+v", base)
+	}
+	if base.SymmetryGroup != 1 {
+		t.Errorf("unreduced SymmetryGroup = %d, want 1", base.SymmetryGroup)
+	}
+	if red.States >= base.States {
+		t.Errorf("reduced States = %d, not below unreduced %d", red.States, base.States)
+	}
+}
+
+// TestReductionGating: scenarios outside a reduction's soundness
+// argument silently clear it, and the result reports what actually ran.
+func TestReductionGating(t *testing.T) {
+	// Adaptive routing disables everything.
+	adaptive, _ := twoBranchScenario()
+	r := Search(adaptive, SearchOptions{Reduction: RedAll})
+	if r.Reduction != RedNone {
+		t.Errorf("adaptive scenario: Reduction = %v, want none", r.Reduction)
+	}
+
+	// Same-cycle handoff with deep buffers keeps POR but drops symmetry.
+	buffered := papernets.Figure1().Scenario
+	buffered.Cfg.BufferDepth = 2
+	r = Search(buffered, SearchOptions{Reduction: RedAll})
+	if r.Reduction != RedPOR {
+		t.Errorf("buffered handoff scenario: Reduction = %v, want por", r.Reduction)
+	}
+
+	// A symmetry-free scenario clears the symmetry bit even when gating
+	// passes: Figure 2's entrants differ, no usable permutation exists.
+	r = Search(papernets.Figure2().Scenario, SearchOptions{Reduction: RedSymmetry})
+	if r.Reduction != RedNone {
+		t.Errorf("figure2: Reduction = %v, want none (no scenario symmetry)", r.Reduction)
+	}
+	if r.SymmetryGroup != 1 {
+		t.Errorf("figure2: SymmetryGroup = %d, want 1", r.SymmetryGroup)
+	}
+}
+
+// TestScenarioSymmetries pins the derived symmetry sets for the paper
+// scenarios: every Gen(k) has exactly the half-turn (the ring
+// reflections invert channel direction and so never match the forward
+// message paths), Figure 2 has none.
+func TestScenarioSymmetries(t *testing.T) {
+	for k := 1; k <= 3; k++ {
+		sc := papernets.GenK(k).Scenario
+		perms := scenarioSymmetries(sc)
+		if len(perms) != 1 {
+			t.Fatalf("gen%d: %d symmetries, want exactly the half-turn", k, len(perms))
+		}
+		// The half-turn swaps M1<->M3 and M2<->M4 (scenario order M1..M4).
+		want := []int{2, 3, 0, 1} // MsgAt is its own inverse for a swap
+		if !reflect.DeepEqual(perms[0].MsgAt, want) {
+			t.Errorf("gen%d: MsgAt = %v, want %v", k, perms[0].MsgAt, want)
+		}
+	}
+	if perms := scenarioSymmetries(papernets.Figure2().Scenario); len(perms) != 0 {
+		t.Errorf("figure2: %d symmetries, want 0", len(perms))
+	}
+}
+
+// TestParseReduction covers the flag grammar.
+func TestParseReduction(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Reduction
+		err  bool
+	}{
+		{"", RedNone, false},
+		{"none", RedNone, false},
+		{"por", RedPOR, false},
+		{"sym", RedSymmetry, false},
+		{"symmetry", RedSymmetry, false},
+		{"all", RedAll, false},
+		{"por+sym", RedAll, false},
+		{"POR", RedPOR, false},
+		{" all ", RedAll, false},
+		{"bogus", RedNone, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseReduction(tc.in)
+		if (err != nil) != tc.err {
+			t.Errorf("ParseReduction(%q): err = %v, want err=%v", tc.in, err, tc.err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseReduction(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	for _, r := range []Reduction{RedNone, RedPOR, RedSymmetry, RedAll} {
+		back, err := ParseReduction(r.String())
+		if err != nil || back != r {
+			t.Errorf("round trip %v -> %q -> %v (err %v)", r, r.String(), back, err)
+		}
+	}
+}

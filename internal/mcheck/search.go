@@ -35,7 +35,6 @@ package mcheck
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -108,6 +107,15 @@ type SearchOptions struct {
 	// GOMAXPROCS. The result is identical for every value; only wall
 	// time changes.
 	Parallelism int
+	// Reduction selects verdict-preserving state-space reductions
+	// (partial-order and/or symmetry). The zero value explores the full
+	// unreduced space, byte-identical to the engine without reductions;
+	// with reductions enabled the verdict and the validity of any
+	// deadlock witness are unchanged, but state counts, traces and
+	// witness details may differ from the unreduced run. Reductions
+	// whose soundness gating the scenario fails are silently cleared;
+	// SearchResult.Reduction reports what actually ran.
+	Reduction Reduction
 
 	// Tracer, when set, receives one obsv.KindSearchLevel event per BFS
 	// level and a final obsv.KindSearchDone. Events are emitted from the
@@ -164,6 +172,22 @@ type SearchResult struct {
 	PeakVisited int
 	// Workers is the worker count the search actually ran with.
 	Workers int
+
+	// Reduction is the reduction set that actually ran, after scenario
+	// gating (RedNone when reductions were off or gated away).
+	Reduction Reduction
+	// StatesPruned counts successor candidates the reductions discarded
+	// before or just after stepping: skipped activation subsets, freeze
+	// subsets and arbitration combinations, plus post-step futile
+	// activations. Zero when partial-order reduction is off.
+	StatesPruned int
+	// SleepSetHits counts expanded states whose sleep set was non-empty
+	// (at least one held message provably unable to inject that cycle).
+	SleepSetHits int
+	// SymmetryGroup is 1 + the number of scenario symmetries the
+	// canonical encoding quotients by (1 when symmetry reduction is off
+	// or the scenario has no usable symmetry).
+	SymmetryGroup int
 }
 
 // provNode is one slot of the flat provenance arena: which frontier state
@@ -205,6 +229,8 @@ type expandResult struct {
 // engine holds the state shared between the search loop and its workers.
 type engine struct {
 	opts    SearchOptions
+	cfg     enumConfig        // enumeration variant; shared with rebuildTrace
+	perms   []sim.Permutation // scenario symmetries; empty = plain encoding
 	visited *visitedSet
 	pool    sync.Pool // recycled *sim.Sim successors
 	workers []*searchWorker
@@ -212,14 +238,18 @@ type engine struct {
 
 // searchWorker is the per-goroutine scratch state for frontier expansion.
 type searchWorker struct {
-	eng    *engine
-	enum   *decisionEnum
-	probe  *sim.Sim // deadlock-check scratch
-	encBuf []byte
+	eng      *engine
+	enum     *decisionEnum
+	probe    *sim.Sim // deadlock-check scratch
+	encBuf   []byte
+	canonBuf []byte // canonical-encoding scratch (symmetry reduction)
+
+	stats      enumStats // pre-clone pruning counters, summed at finish
+	postPruned int64     // post-step futile-activation discards
 }
 
-func newEngine(opts SearchOptions, root *sim.Sim, workers int) *engine {
-	eng := &engine{opts: opts, visited: newVisitedSet()}
+func newEngine(opts SearchOptions, cfg enumConfig, perms []sim.Permutation, root *sim.Sim, workers int) *engine {
+	eng := &engine{opts: opts, cfg: cfg, perms: perms, visited: newVisitedSet()}
 	eng.workers = make([]*searchWorker, workers)
 	for i := range eng.workers {
 		eng.workers[i] = &searchWorker{
@@ -259,14 +289,34 @@ func (w *searchWorker) expand(cur *frontierEntry) expandResult {
 		return r
 	}
 	dec := int32(-1)
-	w.enum.forEach(cur.s, cur.budget, w.eng.opts.FreezeInTransitOnly, func(d *Decision) bool {
+	w.enum.forEach(cur.s, cur.budget, w.eng.cfg, &w.stats, func(d *Decision) bool {
 		dec++
 		next := w.eng.getSim(cur.s)
 		apply(next, *d)
 		next.StepWithPicks(d.Picks)
+		// Post-step backstop for partial-order reduction: an activation
+		// that failed to inject (message neither in network nor delivered
+		// after the step) produced a state dominated by the same decision
+		// without it — identical except the held bit, with the held
+		// variant keeping strictly more adversary power. The pre-clone
+		// filters catch almost all of these; this catches the rest. It
+		// fires after dec++, so provenance ordinals are unaffected.
+		if w.eng.cfg.por {
+			for _, id := range d.Activate {
+				if !next.InNetwork(id) && !next.Delivered(id) {
+					w.postPruned++
+					w.eng.putSim(next)
+					return true
+				}
+			}
+		}
 		newBudget := cur.budget - len(d.Freeze)
 		w.encBuf = w.encBuf[:0]
-		next.EncodeTo(&w.encBuf)
+		if len(w.eng.perms) > 0 {
+			next.CanonicalEncodeTo(w.eng.perms, &w.encBuf, &w.canonBuf)
+		} else {
+			next.EncodeTo(&w.encBuf)
+		}
 		h := w.eng.visited.hash(w.encBuf)
 		// Pre-filter against states accepted in previous levels. Visited
 		// only grows at merge time, so a rejection here is final: budgets
@@ -357,20 +407,30 @@ func requireSearchableArbiter(a sim.Arbiter) {
 func Search(sc sim.Scenario, opts SearchOptions) SearchResult {
 	start := time.Now()
 	requireSearchableArbiter(sc.Cfg.Arbiter)
+	opts = normalizeSearchOptions(sc, opts)
 	maxStates := opts.MaxStates
-	if maxStates <= 0 {
-		maxStates = DefaultMaxStates
-	}
 	workers := opts.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+
+	// Derive the scenario's symmetries once per search; with none usable
+	// the symmetry bit is cleared so the result reports what ran.
+	var perms []sim.Permutation
+	if opts.Reduction.Symmetry() {
+		perms = scenarioSymmetries(sc)
+		if len(perms) == 0 {
+			opts.Reduction &^= RedSymmetry
+		}
 	}
+	cfg := enumConfig{inTransitOnly: opts.FreezeInTransitOnly, por: opts.Reduction.POR()}
 
 	root := newHeldSim(sc)
-	eng := newEngine(opts, root, workers)
+	eng := newEngine(opts, cfg, perms, root, workers)
 
-	var rootEnc []byte
-	root.EncodeTo(&rootEnc)
+	var rootEnc, rootScratch []byte
+	if len(perms) > 0 {
+		root.CanonicalEncodeTo(perms, &rootEnc, &rootScratch)
+	} else {
+		root.EncodeTo(&rootEnc)
+	}
 	eng.visited.insert(eng.visited.hash(rootEnc), rootEnc, opts.StallBudget)
 
 	nodes := []provNode{{parent: -1, dec: -1}}
@@ -385,6 +445,20 @@ func Search(sc sim.Scenario, opts SearchOptions) SearchResult {
 		}
 		r.PeakVisited = eng.visited.size()
 		r.Workers = workers
+		r.Reduction = opts.Reduction
+		r.SymmetryGroup = 1 + len(perms)
+		// Worker pruning counters sum deterministically: expandLevel is a
+		// barrier, so every level that influenced the result was expanded
+		// in full before its merge (including the final, early-returning
+		// one), and the per-worker split of a level never changes totals.
+		var st enumStats
+		var post int64
+		for _, w := range eng.workers {
+			st.add(&w.stats)
+			post += w.postPruned
+		}
+		r.StatesPruned = int(st.sleepSkips + st.freezeSkips + st.pickSkips + post)
+		r.SleepSetHits = int(st.sleepSets)
 		if opts.Tracer != nil {
 			ev := obsv.Ev(obsv.KindSearchDone, 0)
 			ev.N = r.States
@@ -399,6 +473,13 @@ func Search(sc sim.Scenario, opts SearchOptions) SearchResult {
 			for _, n := range eng.visited.shardSizes() {
 				shardLoad.Observe(float64(n))
 			}
+			// Reduction gauges only exist when a reduction ran, keeping
+			// unreduced metric snapshots identical to the historical ones.
+			if opts.Reduction != RedNone {
+				opts.Metrics.Gauge("mcheck_states_pruned").Set(int64(r.StatesPruned))
+				opts.Metrics.Gauge("mcheck_sleep_set_hits").Set(int64(r.SleepSetHits))
+				opts.Metrics.Gauge("mcheck_symmetry_group").Set(int64(r.SymmetryGroup))
+			}
 		}
 		if opts.Progress != nil {
 			r2 := r
@@ -407,10 +488,7 @@ func Search(sc sim.Scenario, opts SearchOptions) SearchResult {
 		return r
 	}
 
-	progressEvery := opts.ProgressEvery
-	if progressEvery <= 0 {
-		progressEvery = 2 * time.Second
-	}
+	progressEvery := opts.ProgressEvery // normalized: always positive
 	lastProgress := start
 
 	for len(frontier) > 0 {
@@ -461,7 +539,7 @@ func Search(sc sim.Scenario, opts SearchOptions) SearchResult {
 				return finish(SearchResult{
 					Verdict:  VerdictDeadlock,
 					States:   states,
-					Trace:    rebuildTrace(sc, nodes, cur.node, opts),
+					Trace:    rebuildTrace(sc, nodes, cur.node, opts, cfg),
 					Deadlock: d,
 				})
 			}
@@ -521,7 +599,7 @@ func apply(s *sim.Sim, d Decision) {
 // continues. This trades O(depth × decisions-per-state) work at witness
 // time — paid once, only on a deadlock verdict — for never materializing
 // Decisions during the search itself.
-func rebuildTrace(sc sim.Scenario, nodes []provNode, idx int32, opts SearchOptions) []Decision {
+func rebuildTrace(sc sim.Scenario, nodes []provNode, idx int32, opts SearchOptions, cfg enumConfig) []Decision {
 	var rev []int32
 	for i := idx; nodes[i].parent >= 0; i = nodes[i].parent {
 		rev = append(rev, nodes[i].dec)
@@ -535,7 +613,7 @@ func rebuildTrace(sc sim.Scenario, nodes []provNode, idx int32, opts SearchOptio
 		var chosen Decision
 		found := false
 		ord := int32(-1)
-		enum.forEach(s, budget, opts.FreezeInTransitOnly, func(d *Decision) bool {
+		enum.forEach(s, budget, cfg, nil, func(d *Decision) bool {
 			ord++
 			if ord == target {
 				chosen = copyDecision(d)

@@ -2,7 +2,6 @@ package mcheck
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"repro/internal/sim"
@@ -168,10 +167,7 @@ func Sweep(sc sim.Scenario, opts SweepOptions) SweepResult {
 	}
 
 	witnesses := make([]*SweepWitness, len(jobs))
-	workers := opts.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := normalizeParallelism(opts.Parallelism)
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}

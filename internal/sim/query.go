@@ -1,5 +1,7 @@
 package sim
 
+import "repro/internal/topology"
+
 // Lightweight per-message state queries for the search engines. Message
 // returns a MsgView whose Queued/Path slices are defensive copies; the hot
 // paths of the model checker only need these scalar facts, so they get
@@ -12,6 +14,13 @@ func (s *Sim) Delivered(id int) bool { return s.msgs[id].delivered() }
 // InNetwork reports whether message id currently holds flits in the
 // network (injected but not yet fully consumed).
 func (s *Sim) InNetwork(id int) bool { return s.msgs[id].inNetwork() }
+
+// PathChannel returns the i-th channel of message id's materialized
+// route. For an oblivious message the route is its full fixed path; for
+// an adaptive one it is the prefix acquired so far. The search engine's
+// partial-order filter uses PathChannel(id, 0) to identify the channel
+// an uninjected oblivious message must win to enter the network.
+func (s *Sim) PathChannel(id, i int) topology.ChannelID { return s.msgs[id].path[i] }
 
 // Delivering reports whether message id's header has reached the
 // destination and consumption has begun or could begin immediately: the

@@ -1,0 +1,44 @@
+package repro
+
+// Guard for the state-space reduction's headline claim: on Gen(4) at its
+// minimal deadlocking stall budget, the combined partial-order + symmetry
+// reduction must keep the explored state count exactly at the committed
+// baseline (it is deterministic) and at least 3x below the unreduced
+// search recorded alongside it. Runs in short mode — the reduced search
+// is the cheap one; the 3x denominator comes from the baseline file, not
+// a live unreduced run.
+
+import (
+	"testing"
+
+	"repro/internal/mcheck"
+	"repro/internal/papernets"
+)
+
+func TestReductionGuard_Gen4(t *testing.T) {
+	_, redStates := loadBaseline(t, "Gen4_Stall4_Reduced")
+	_, unredStates := loadBaseline(t, "Gen4_Stall4")
+	if redStates == 0 || unredStates == 0 {
+		t.Fatal("baseline rows missing state counts; regenerate BENCH_mcheck.json with cmd/benchjson")
+	}
+
+	res := mcheck.Search(papernets.GenK(4).Scenario, mcheck.SearchOptions{
+		StallBudget:         4,
+		FreezeInTransitOnly: true,
+		Reduction:           mcheck.RedAll,
+	})
+	if res.Verdict != mcheck.VerdictDeadlock {
+		t.Fatalf("verdict = %v, want deadlock", res.Verdict)
+	}
+	if res.Reduction != mcheck.RedAll {
+		t.Fatalf("reduction = %v, want %v (gating cleared it?)", res.Reduction, mcheck.RedAll)
+	}
+	if res.States != redStates {
+		t.Errorf("reduced Gen(4) explored %d states; baseline records %d — "+
+			"if the reduction intentionally changed, regenerate BENCH_mcheck.json with cmd/benchjson",
+			res.States, redStates)
+	}
+	if unredStates < 3*res.States {
+		t.Errorf("reduction ratio %d/%d below the 3x floor", unredStates, res.States)
+	}
+}

@@ -93,6 +93,28 @@ func TestDisabledTracerFastPath_E1(t *testing.T) {
 	})
 }
 
+// TestDisabledTracerFastPath_E1_Reduced holds the reduced search path to
+// the same contract: reductions on (partial-order filters, canonical
+// encoding), tracer and metrics nil — the per-state pruning and
+// canonicalization work must stay on enumerator/worker scratch, not
+// allocate per state.
+func TestDisabledTracerFastPath_E1_Reduced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping benchmark-backed guard in -short mode")
+	}
+	pn := papernets.Figure1()
+	checkFastPath(t, "E1_Figure1_Search_Reduced", 818, func(b *testing.B) int {
+		res := mcheck.Search(pn.Scenario, mcheck.SearchOptions{Parallelism: 1, Reduction: mcheck.RedAll})
+		if res.Verdict != mcheck.VerdictNoDeadlock {
+			b.Fatalf("verdict = %v", res.Verdict)
+		}
+		if res.Reduction != mcheck.RedAll {
+			b.Fatalf("reduction = %v", res.Reduction)
+		}
+		return res.States
+	})
+}
+
 // TestDisabledTracerFastPath_E5 does the same over all six Figure 3
 // searches (the heaviest tier-1 search load).
 func TestDisabledTracerFastPath_E5(t *testing.T) {
