@@ -20,7 +20,10 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/cli"
 	"repro/internal/mcheck"
+	"repro/internal/obsv/manifest"
+	"repro/internal/obsv/serve"
 	"repro/internal/papernets"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -48,6 +51,8 @@ type report struct {
 var (
 	quick     = flag.Bool("quick", false, "run each benchmark for ~0.1s instead of ~1s")
 	reduction = flag.String("reduction", "all", "reduction mode for the *_Reduced rows (none skips them)")
+	obsvF     = cli.RegisterObsvFlags()
+	obs       *cli.Observer
 )
 
 func bench(f func(b *testing.B)) testing.BenchmarkResult {
@@ -63,7 +68,14 @@ func fail(format string, args ...any) {
 // deriving states/sec from the per-op time and the (deterministic) state
 // count.
 func searchEntry(name string, sc sim.Scenario, opts mcheck.SearchOptions, want mcheck.Verdict) entry {
-	probe := mcheck.Search(sc, opts)
+	// Only the verdict probe reports through the observability sinks; the
+	// timed loop below runs with the caller's exact options so tracing or
+	// serving never perturbs the measured numbers.
+	probeOpts := opts
+	probeOpts.Tracer = obs.Tracer
+	probeOpts.Metrics = obs.Metrics
+	probeOpts.Progress = obs.SearchProgress(name)
+	probe := mcheck.Search(sc, probeOpts)
 	if probe.Verdict != want {
 		fail("%s: verdict %v; want %v", name, probe.Verdict, want)
 	}
@@ -111,9 +123,22 @@ func main() {
 		}
 	}
 
+	var err error
+	obs, err = obsvF.Open("benchjson", nil)
+	if err != nil {
+		fail("%v", err)
+	}
+
 	rep := report{GoMaxProcs: runtime.GOMAXPROCS(0), Workers: runtime.GOMAXPROCS(0)}
 	add := func(e entry) {
 		rep.Entries = append(rep.Entries, e)
+		obs.RecordRun(manifest.Run{
+			Name: e.Name, Verdict: e.Verdict,
+			States: e.States, StatesPerSec: e.StatesPerSec,
+			NsPerOp: e.NsPerOp, AllocsPerOp: e.AllocsPerOp, BytesPerOp: e.BytesPerOp,
+			Reduction: e.Reduction, StatesPruned: e.StatesPruned,
+		})
+		obs.Publish(serve.Snapshot{Source: "run", Name: e.Name, States: e.States, StatesPerSec: e.StatesPerSec})
 		fmt.Fprintf(os.Stderr, "%-28s %12d ns/op %10d allocs/op", e.Name, e.NsPerOp, e.AllocsPerOp)
 		if e.StatesPerSec > 0 {
 			fmt.Fprintf(os.Stderr, " %10d states/sec", e.StatesPerSec)
@@ -267,6 +292,9 @@ func main() {
 			withRed(mcheck.SearchOptions{StallBudget: 5, FreezeInTransitOnly: true}), mcheck.VerdictDeadlock))
 	}
 
+	if err := obs.Close(); err != nil {
+		fail("%v", err)
+	}
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fail("marshal: %v", err)

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cdg"
 	"repro/internal/cli"
+	"repro/internal/obsv/manifest"
 	"repro/internal/routing"
 )
 
@@ -31,6 +32,7 @@ func main() {
 		dot    = flag.Bool("dot", false, "emit the CDG as Graphviz DOT to stdout instead of the summary")
 		netdot = flag.Bool("netdot", false, "emit the network topology as Graphviz DOT to stdout")
 	)
+	obsvF := cli.RegisterObsvFlags()
 	flag.Parse()
 
 	var alg routing.Algorithm
@@ -48,11 +50,34 @@ func main() {
 		}
 	}
 
+	obs, err := obsvF.Open("cdgtool "+alg.Name(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer obs.Close()
+
 	if *netdot {
 		fmt.Fprint(os.Stdout, alg.Network().DOT())
 		return
 	}
 	g := cdg.New(alg)
+	acyclic, _ := g.Acyclic()
+	sccs := g.SCCs()
+	cycles, truncated := g.Cycles(*maxCyc)
+	if obs.Metrics != nil {
+		obs.Metrics.Gauge("cdg_dependencies").Set(int64(g.NumEdges()))
+		obs.Metrics.Gauge("cdg_cycles_found").Set(int64(len(cycles)))
+		obs.Metrics.Gauge("cdg_sccs").Set(int64(len(sccs)))
+		var acy int64
+		if acyclic {
+			acy = 1
+		}
+		obs.Metrics.Gauge("cdg_acyclic").Set(acy)
+	}
+	obs.RecordRun(manifest.Run{
+		Name:         alg.Name(),
+		TopologyHash: manifest.TopologyHash(alg.Network()),
+	})
 	if *dot {
 		fmt.Fprint(os.Stdout, g.DOT())
 		return
@@ -61,14 +86,12 @@ func main() {
 	fmt.Printf("algorithm: %s\n", alg.Name())
 	fmt.Printf("network:   %d nodes, %d channels\n", net.NumNodes(), net.NumChannels())
 	fmt.Printf("CDG:       %d dependencies\n", g.NumEdges())
-	if ok, _ := g.Acyclic(); ok {
+	if acyclic {
 		fmt.Println("acyclic:   yes (deadlock-free by Dally-Seitz)")
 		return
 	}
 	fmt.Println("acyclic:   no")
-	sccs := g.SCCs()
 	fmt.Printf("SCCs:      %d nontrivial\n", len(sccs))
-	cycles, truncated := g.Cycles(*maxCyc)
 	fmt.Printf("cycles:    %d", len(cycles))
 	if truncated {
 		fmt.Printf(" (truncated at %d)", *maxCyc)

@@ -75,7 +75,8 @@ func main() {
 		Parallelism:         *workers,
 		Reduction:           red,
 		Tracer:              obs.Tracer,
-		Progress:            obsvF.SearchProgress(),
+		Progress:            obs.SearchProgress(obsName),
+		ProgressEvery:       obs.ProgressInterval(),
 		Metrics:             obs.Metrics,
 	}
 	copts := core.Options{}
@@ -119,6 +120,10 @@ func main() {
 
 	if *verify && pn != nil {
 		res := mcheck.Search(pn.Scenario, searchOpts)
+		obs.PublishSearchDone(obsName, res)
+		run := cli.SearchRun(obsName, pn.Scenario.Net, res)
+		run.Scenario = pn.Scenario.Name
+		obs.RecordRun(run)
 		fmt.Printf("verify:     model checker says %s over %d states (stall budget %d)\n",
 			res.Verdict, res.States, *stall)
 		fmt.Printf("            %.0f states/sec, peak visited %d, %d worker(s), %s\n",
@@ -126,6 +131,9 @@ func main() {
 		if res.Reduction != mcheck.RedNone {
 			fmt.Printf("            reduction %s: %d candidates pruned, %d sleep-set states, symmetry group %d\n",
 				res.Reduction, res.StatesPruned, res.SleepSetHits, res.SymmetryGroup)
+		}
+		for _, w := range res.Warnings {
+			fmt.Printf("            warning: %s\n", w)
 		}
 		if res.Verdict == mcheck.VerdictDeadlock {
 			fmt.Printf("            deadlock cycle: %s\n", res.Deadlock)

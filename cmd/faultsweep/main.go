@@ -24,7 +24,8 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/fault"
-	"repro/internal/obsv"
+	"repro/internal/obsv/manifest"
+	"repro/internal/obsv/serve"
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -136,7 +137,13 @@ func main() {
 			log.Fatal(err)
 		}
 		for _, pol := range pols {
-			doc.Cells = append(doc.Cells, runCell(net, a, msgs, sch, pol, mtbf, *depth, *maxCyc, obs.Tracer))
+			c := runCell(net, a, msgs, sch, pol, mtbf, *depth, *maxCyc, obs)
+			doc.Cells = append(doc.Cells, c)
+			obs.RecordRun(manifest.Run{
+				Name:         fmt.Sprintf("mtbf%g %s", mtbf, c.Policy),
+				TopologyHash: manifest.TopologyHash(net),
+				Verdict:      c.Report.Result,
+			})
 		}
 	}
 	if err := obs.Close(); err != nil {
@@ -159,13 +166,25 @@ func main() {
 }
 
 // runCell simulates one (schedule, policy) point on a fresh simulator.
-func runCell(net *topology.Network, a routing.Algorithm, msgs []sim.MessageSpec, sch fault.Schedule, pol fault.Policy, mtbf float64, depth, maxCyc int, tracer obsv.Tracer) cell {
+func runCell(net *topology.Network, a routing.Algorithm, msgs []sim.MessageSpec, sch fault.Schedule, pol fault.Policy, mtbf float64, depth, maxCyc int, obs *cli.Observer) cell {
 	s := sim.New(net, sim.Config{BufferDepth: depth})
-	s.SetTracer(tracer)
+	s.SetTracer(obs.Tracer)
 	for _, m := range msgs {
 		s.MustAdd(m)
 	}
-	r := fault.Runner{Sim: s, Schedule: sch, Recovery: fault.DefaultRecovery(pol), Alg: a, Tracer: tracer}
+	cellName := fmt.Sprintf("mtbf%g %s", mtbf, pol)
+	var heartbeat func(fault.Heartbeat)
+	if obs.Server != nil {
+		heartbeat = func(h fault.Heartbeat) {
+			obs.Publish(serve.Snapshot{
+				Source: "campaign", Name: cellName,
+				Cycle: h.Cycle, Messages: h.Messages, Delivered: h.Delivered, Dropped: h.Dropped,
+				Faults: h.FaultsInjected, Interventions: h.Interventions,
+				ElapsedMS: h.Elapsed.Milliseconds(),
+			})
+		}
+	}
+	r := fault.Runner{Sim: s, Schedule: sch, Recovery: fault.DefaultRecovery(pol), Alg: a, Tracer: obs.Tracer, Progress: heartbeat}
 	rep := r.Run(maxCyc)
 	return cell{
 		MTBF: mtbf, Policy: pol.String(),

@@ -32,6 +32,8 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/fault"
+	"repro/internal/obsv/manifest"
+	"repro/internal/obsv/serve"
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -138,6 +140,20 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Live campaign heartbeats for -serve: the runner's wall-clock
+	// telemetry feeds the /progress endpoint, never the report.
+	var heartbeat func(fault.Heartbeat)
+	if obs.Server != nil {
+		heartbeat = func(h fault.Heartbeat) {
+			obs.Publish(serve.Snapshot{
+				Source: "campaign", Name: name,
+				Cycle: h.Cycle, Messages: h.Messages, Delivered: h.Delivered, Dropped: h.Dropped,
+				Faults: h.FaultsInjected, Interventions: h.Interventions,
+				ElapsedMS: h.Elapsed.Milliseconds(),
+			})
+		}
+	}
+
 	var (
 		out sim.Outcome
 		rep *fault.Report
@@ -147,7 +163,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		r := fault.Runner{Sim: s, Schedule: sch, Recovery: fault.DefaultRecovery(pol), Alg: oblAlg, Tracer: obs.Tracer}
+		r := fault.Runner{Sim: s, Schedule: sch, Recovery: fault.DefaultRecovery(pol), Alg: oblAlg, Tracer: obs.Tracer, Progress: heartbeat}
 		rr := r.Run(*maxCyc)
 		rep, out = &rr, rr.Outcome
 	} else {
@@ -156,7 +172,7 @@ func main() {
 				// Detect-only: a timeout longer than the budget means the
 				// watchdog never intervenes; the run reports what happened.
 				Policy: fault.Drop, Watchdog: fault.Watchdog{CheckEvery: 8, Timeout: *maxCyc + 1},
-			}, Tracer: obs.Tracer}
+			}, Tracer: obs.Tracer, Progress: heartbeat}
 			rr := r.Run(*maxCyc)
 			rep, out = &rr, rr.Outcome
 		} else {
@@ -164,6 +180,19 @@ func main() {
 		}
 	}
 	stats := sim.Collect(s)
+	obs.Publish(serve.Snapshot{
+		Source: "campaign", Name: name, Cycle: stats.Cycles,
+		Messages: stats.Messages, Delivered: stats.Delivered, Dropped: stats.Dropped,
+		Done: true, Verdict: out.Result.String(),
+	})
+	run := manifest.Run{
+		Name: name, TopologyHash: manifest.TopologyHash(net),
+		Verdict: out.Result.String(),
+	}
+	if *paper != "" {
+		run.Scenario = name
+	}
+	obs.RecordRun(run)
 	if err := obs.Close(); err != nil {
 		log.Fatal(err)
 	}

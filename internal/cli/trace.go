@@ -7,20 +7,27 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/mcheck"
 	"repro/internal/obsv"
+	"repro/internal/obsv/manifest"
+	"repro/internal/obsv/serve"
 	"repro/internal/topology"
 )
 
 // ObsvFlags holds the observability flags shared by every command:
-// -trace, -trace-format, -metrics and -progress. Register them with
-// RegisterObsvFlags before flag.Parse, then Open an Observer.
+// -trace, -trace-format, -metrics, -progress, and the run-observatory
+// trio -serve, -profile, -manifest. Register them with RegisterObsvFlags
+// before flag.Parse, then Open an Observer.
 type ObsvFlags struct {
 	Trace       *string
 	TraceFormat *string
 	Metrics     *string
 	Progress    *bool
+	Serve       *string
+	Profile     *string
+	Manifest    *string
 }
 
 // RegisterObsvFlags registers the shared observability flags on the
@@ -31,6 +38,9 @@ func RegisterObsvFlags() *ObsvFlags {
 		TraceFormat: flag.String("trace-format", "", "trace format: jsonl, dot, chrome (default: inferred from the -trace extension, else jsonl)"),
 		Metrics:     flag.String("metrics", "", "write a metrics snapshot to this file (.prom/.txt = Prometheus text format, else JSON)"),
 		Progress:    flag.Bool("progress", false, "print periodic search progress to stderr"),
+		Serve:       flag.String("serve", "", "serve /metrics, /progress, /healthz and /debug/pprof on this address while the run executes (e.g. :8080)"),
+		Profile:     flag.String("profile", "", "write cpu.pprof and heap.pprof for the run into this directory"),
+		Manifest:    flag.String("manifest", "", "write a run-manifest JSON (command, flags, verdicts, timings, peak RSS) to this file"),
 	}
 }
 
@@ -42,13 +52,24 @@ func (f *ObsvFlags) Enabled() bool {
 // Observer bundles the sinks opened from a set of ObsvFlags. Tracer is
 // nil when no tracing or metrics were requested, so it can be handed to
 // sim.SetTracer / SearchOptions.Tracer / fault.Runner.Tracer directly —
-// the producers' nil checks keep the disabled path free.
+// the producers' nil checks keep the disabled path free. The same
+// nil-when-off rule holds for the observatory: Server, Manifest and the
+// profiler exist only when their flags were set, so an unobserved run
+// pays nothing.
 type Observer struct {
 	// Tracer fans out to every requested sink; nil when none.
 	Tracer obsv.Tracer
-	// Metrics is the live registry behind -metrics; nil when unset.
+	// Metrics is the live registry behind -metrics and -serve; nil when
+	// both are unset.
 	Metrics *obsv.Registry
+	// Server is the live HTTP observatory behind -serve; nil when unset.
+	Server *serve.Server
+	// Manifest accumulates the invocation's run manifest behind -manifest;
+	// nil when unset. Close writes it.
+	Manifest *manifest.Builder
 
+	progress    bool
+	profiler    *manifest.Profiler
 	metricsPath string
 	closers     []io.Closer
 	file        *os.File
@@ -79,9 +100,11 @@ func traceFormat(format, path string) (string, error) {
 // The caller must Close the observer to flush the trace and write the
 // metrics snapshot.
 func (f *ObsvFlags) Open(name string, lanes []string) (*Observer, error) {
-	o := &Observer{}
+	o := &Observer{progress: *f.Progress}
 	var tracers obsv.Multi
-	if *f.Metrics != "" {
+	if *f.Metrics != "" || *f.Serve != "" {
+		// -serve needs a live registry for /metrics even when no snapshot
+		// file was requested.
 		o.Metrics = obsv.NewRegistry()
 		o.metricsPath = *f.Metrics
 		tracers = append(tracers, obsv.NewMetricsSink(o.Metrics))
@@ -118,45 +141,115 @@ func (f *ObsvFlags) Open(name string, lanes []string) (*Observer, error) {
 	default:
 		o.Tracer = tracers
 	}
+	if *f.Serve != "" {
+		o.Server = serve.New(o.Metrics)
+		addr, err := o.Server.Start(*f.Serve)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "observatory: listening on http://%s\n", addr)
+	}
+	if *f.Profile != "" {
+		p, err := manifest.StartProfiles(*f.Profile)
+		if err != nil {
+			return nil, err
+		}
+		o.profiler = p
+	}
+	if *f.Manifest != "" {
+		o.Manifest = manifest.NewBuilder(*f.Manifest, filepath.Base(os.Args[0]), os.Args[1:])
+		// Open runs after flag.Parse in every command, so the explicitly
+		// set flags are known here.
+		o.Manifest.CaptureFlags(flag.CommandLine)
+	}
 	return o, nil
 }
 
-// Close flushes and closes the trace sink and writes the metrics
-// snapshot, if any.
+// Close flushes and closes the trace sink, writes the metrics snapshot,
+// stops the profiler, writes the run manifest, and stops the HTTP server
+// — in that order, so the manifest can record the profile paths and a
+// last scrape can still see final metrics.
 func (o *Observer) Close() error {
 	var first error
-	for _, c := range o.closers {
-		if err := c.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	if o.file != nil {
-		if err := o.file.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	if o.Metrics != nil && o.metricsPath != "" {
-		file, err := os.Create(o.metricsPath)
-		if err != nil {
-			if first == nil {
-				first = err
-			}
-			return first
-		}
-		switch strings.ToLower(filepath.Ext(o.metricsPath)) {
-		case ".prom", ".txt":
-			err = o.Metrics.WritePrometheus(file)
-		default:
-			err = o.Metrics.WriteJSON(file)
-		}
-		if cerr := file.Close(); err == nil {
-			err = cerr
-		}
+	keep := func(err error) {
 		if err != nil && first == nil {
 			first = err
 		}
 	}
+	for _, c := range o.closers {
+		keep(c.Close())
+	}
+	if o.file != nil {
+		keep(o.file.Close())
+	}
+	if o.Metrics != nil && o.metricsPath != "" {
+		file, err := os.Create(o.metricsPath)
+		keep(err)
+		if err == nil {
+			switch strings.ToLower(filepath.Ext(o.metricsPath)) {
+			case ".prom", ".txt":
+				err = o.Metrics.WritePrometheus(file)
+			default:
+				err = o.Metrics.WriteJSON(file)
+			}
+			keep(err)
+			keep(file.Close())
+		}
+	}
+	if o.profiler != nil {
+		cpu, heap, err := o.profiler.Stop()
+		keep(err)
+		o.profiler = nil
+		if o.Manifest != nil {
+			o.Manifest.SetProfiles(cpu, heap)
+		}
+	}
+	if o.Manifest != nil {
+		keep(o.Manifest.Write())
+	}
+	if o.Server != nil {
+		keep(o.Server.Close())
+	}
 	return first
+}
+
+// Publish sends a snapshot to the live /progress hub. No-op when -serve
+// is off (or the observer is nil), so producers can call it
+// unconditionally.
+func (o *Observer) Publish(s serve.Snapshot) {
+	if o == nil || o.Server == nil {
+		return
+	}
+	o.Server.Hub().Publish(s)
+}
+
+// RecordRun appends one run to the manifest. No-op when -manifest is off.
+func (o *Observer) RecordRun(r manifest.Run) {
+	if o == nil || o.Manifest == nil {
+		return
+	}
+	o.Manifest.AddRun(r)
+}
+
+// SearchRun condenses a search result into a manifest run entry.
+func SearchRun(name string, net *topology.Network, res mcheck.SearchResult) manifest.Run {
+	run := manifest.Run{
+		Name:         name,
+		TopologyHash: manifest.TopologyHash(net),
+		Verdict:      res.Verdict.String(),
+		States:       res.States,
+		StatesPerSec: int64(res.StatesPerSec),
+		PeakVisited:  res.PeakVisited,
+		Workers:      res.Workers,
+		ElapsedMS:    res.Elapsed.Milliseconds(),
+		Warnings:     res.Warnings,
+	}
+	if res.Reduction != mcheck.RedNone {
+		run.Reduction = res.Reduction.String()
+		run.StatesPruned = res.StatesPruned
+		run.ReductionRatio = manifest.ReductionRatio(res.States, res.StatesPruned)
+	}
+	return run
 }
 
 // RegisterReductionFlag registers the shared -reduction flag on the
@@ -178,17 +271,60 @@ func Reduction(value string) mcheck.Reduction {
 	return r
 }
 
-// SearchProgress returns a periodic-progress callback printing to stderr
-// when -progress is set, nil otherwise. The callback carries wall-clock
-// rates and is deliberately kept out of the deterministic trace.
-func (f *ObsvFlags) SearchProgress() func(mcheck.ProgressInfo) {
-	if !*f.Progress {
+// SearchProgress returns a periodic-progress callback for the named
+// search: it prints to stderr when -progress is set and feeds the live
+// /progress endpoint when -serve is on. Nil when both are off, so the
+// search engine skips progress bookkeeping entirely. The callback carries
+// wall-clock rates and is deliberately kept out of the deterministic
+// trace.
+func (o *Observer) SearchProgress(name string) func(mcheck.ProgressInfo) {
+	live := o != nil && o.Server != nil
+	stderr := o != nil && o.progress
+	if !live && !stderr {
 		return nil
 	}
 	return func(p mcheck.ProgressInfo) {
-		fmt.Fprintf(os.Stderr, "search: level %d, frontier %d, %d states, %.0f states/sec, %s\n",
-			p.Level, p.Frontier, p.States, p.StatesPerSec, p.Elapsed.Round(1e7))
+		if stderr {
+			fmt.Fprintf(os.Stderr, "search: level %d, frontier %d, %d states, %.0f states/sec, %s\n",
+				p.Level, p.Frontier, p.States, p.StatesPerSec, p.Elapsed.Round(1e7))
+		}
+		if live {
+			o.Publish(serve.Snapshot{
+				Source:       "search",
+				Name:         name,
+				Level:        p.Level,
+				Frontier:     p.Frontier,
+				States:       p.States,
+				StatesPerSec: int64(p.StatesPerSec),
+				ElapsedMS:    p.Elapsed.Milliseconds(),
+			})
+		}
 	}
+}
+
+// ProgressInterval returns the progress-callback throttle to use with
+// SearchProgress: a fast interval when -serve is on (so even sub-second
+// searches surface live snapshots to pollers) and 0 otherwise, which
+// lets the search engine's stderr-friendly 2s default stand.
+func (o *Observer) ProgressInterval() time.Duration {
+	if o != nil && o.Server != nil {
+		return 100 * time.Millisecond
+	}
+	return 0
+}
+
+// PublishSearchDone marks the live /progress stream finished with the
+// search's verdict. No-op when -serve is off.
+func (o *Observer) PublishSearchDone(name string, res mcheck.SearchResult) {
+	o.Publish(serve.Snapshot{
+		Source:       "search",
+		Name:         name,
+		States:       res.States,
+		StatesPerSec: int64(res.StatesPerSec),
+		ElapsedMS:    res.Elapsed.Milliseconds(),
+		Done:         true,
+		Verdict:      res.Verdict.String(),
+	})
 }
 
 // ChannelLanes names one Chrome-trace lane per channel of the network,

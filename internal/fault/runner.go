@@ -3,6 +3,7 @@ package fault
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/obsv"
 	"repro/internal/routing"
@@ -73,6 +74,31 @@ type Runner struct {
 	// simulator's own events flow through Sim.SetTracer separately). Nil
 	// disables runner tracing.
 	Tracer obsv.Tracer
+	// Progress, when set, receives periodic campaign heartbeats, throttled
+	// by wall clock to at most one per ProgressEvery, plus one final beat
+	// when the run ends. Heartbeats carry wall-clock timings and are
+	// interactive telemetry only — they never enter the deterministic
+	// trace or the Report.
+	Progress func(Heartbeat)
+	// ProgressEvery is the minimum wall-clock interval between heartbeats;
+	// 0 means a 2s default.
+	ProgressEvery time.Duration
+}
+
+// Heartbeat is one live progress report from a running campaign.
+type Heartbeat struct {
+	// Cycle is the simulation clock at the time of the beat.
+	Cycle int
+	// Messages is the scenario's total message count; Delivered and
+	// Dropped count terminal messages so far.
+	Messages  int
+	Delivered int
+	Dropped   int
+	// FaultsInjected and Interventions mirror the Report counters.
+	FaultsInjected int
+	Interventions  int
+	// Elapsed is wall-clock time since Run started.
+	Elapsed time.Duration
 }
 
 // warn records a structured warning on the report and mirrors it to the
@@ -119,6 +145,36 @@ func (r *Runner) Run(maxCycles int) Report {
 		frozen[i] = s.Frozen(i) > 0
 	}
 
+	// Heartbeats are throttled by wall clock so a tight simulation loop
+	// never spends its time reporting. beat scans terminal messages only
+	// when it actually emits.
+	progressEvery := r.ProgressEvery
+	if progressEvery <= 0 {
+		progressEvery = 2 * time.Second
+	}
+	started := time.Now()
+	lastBeat := started
+	beat := func(rep *Report) {
+		delivered, dropped := 0, 0
+		for id := 0; id < n; id++ {
+			mv := s.Message(id)
+			if mv.Delivered {
+				delivered++
+			} else if mv.Dropped {
+				dropped++
+			}
+		}
+		r.Progress(Heartbeat{
+			Cycle:          s.Now(),
+			Messages:       n,
+			Delivered:      delivered,
+			Dropped:        dropped,
+			FaultsInjected: rep.FaultsInjected,
+			Interventions:  rep.Interventions,
+			Elapsed:        time.Since(started),
+		})
+	}
+
 	for c := 0; c < maxCycles; c++ {
 		now := s.Now()
 		for evIdx < len(events) && events[evIdx].At <= now {
@@ -144,6 +200,11 @@ func (r *Runner) Run(maxCycles int) Report {
 		}
 		s.Step()
 		now = s.Now()
+
+		if r.Progress != nil && time.Since(lastBeat) >= progressEvery {
+			lastBeat = time.Now()
+			beat(&rep)
+		}
 
 		for id := 0; id < n; id++ {
 			f := s.Frozen(id) > 0
@@ -185,6 +246,9 @@ func (r *Runner) Run(maxCycles int) Report {
 	rep.Cycles = rep.Outcome.Cycles
 	rep.Stats = sim.Collect(s)
 	rep.MeanRecoveryLatency = meanRecoveryLatency(s, recoveryStart)
+	if r.Progress != nil {
+		beat(&rep)
+	}
 	return rep
 }
 

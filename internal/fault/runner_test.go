@@ -3,6 +3,7 @@ package fault
 import (
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/papernets"
 	"repro/internal/sim"
@@ -277,5 +278,58 @@ func TestMaxRetriesExhaustedDrops(t *testing.T) {
 		if s.Retries(id) > 1 {
 			t.Fatalf("message %d retried %d times; cap was 1", id, s.Retries(id))
 		}
+	}
+}
+
+// Heartbeats: with an aggressive interval the runner emits per-cycle
+// beats with non-decreasing cycle counts, plus a final beat whose cycle
+// matches the report.
+func TestRunnerHeartbeats(t *testing.T) {
+	s := ringDeadlock(t)
+	var beats []Heartbeat
+	r := Runner{
+		Sim: s, Recovery: DefaultRecovery(AbortRetry),
+		Progress:      func(h Heartbeat) { beats = append(beats, h) },
+		ProgressEvery: time.Nanosecond,
+	}
+	rep := r.Run(10_000)
+	if len(beats) < 2 {
+		t.Fatalf("beats = %d, want per-cycle heartbeats", len(beats))
+	}
+	for i := 1; i < len(beats); i++ {
+		if beats[i].Cycle < beats[i-1].Cycle {
+			t.Fatalf("cycle regressed: beat %d = %d, beat %d = %d",
+				i-1, beats[i-1].Cycle, i, beats[i].Cycle)
+		}
+	}
+	final := beats[len(beats)-1]
+	if final.Cycle != rep.Cycles {
+		t.Errorf("final beat cycle = %d, report cycles = %d", final.Cycle, rep.Cycles)
+	}
+	if final.Messages != 4 || final.Delivered != rep.Stats.Delivered {
+		t.Errorf("final beat = %+v, report stats = %+v", final, rep.Stats)
+	}
+	if final.FaultsInjected != rep.FaultsInjected || final.Interventions != rep.Interventions {
+		t.Errorf("final beat counters = %+v, report = faults %d interventions %d",
+			final, rep.FaultsInjected, rep.Interventions)
+	}
+}
+
+// With Progress unset the runner must not spend time on heartbeat
+// bookkeeping, and with it set the deterministic Report must be
+// unchanged.
+func TestRunnerHeartbeatsDoNotChangeReport(t *testing.T) {
+	quiet := Runner{Sim: ringDeadlock(t), Recovery: DefaultRecovery(AbortRetry)}
+	base := quiet.Run(10_000)
+
+	loud := Runner{
+		Sim: ringDeadlock(t), Recovery: DefaultRecovery(AbortRetry),
+		Progress:      func(Heartbeat) {},
+		ProgressEvery: time.Nanosecond,
+	}
+	got := loud.Run(10_000)
+	if got.Result != base.Result || got.Cycles != base.Cycles ||
+		got.Interventions != base.Interventions || got.Drops != base.Drops {
+		t.Fatalf("heartbeats changed the report:\n  with    %+v\n  without %+v", got, base)
 	}
 }

@@ -188,6 +188,11 @@ type SearchResult struct {
 	// canonical encoding quotients by (1 when symmetry reduction is off
 	// or the scenario has no usable symmetry).
 	SymmetryGroup int
+
+	// Warnings lists non-fatal problems the search survived — today, a
+	// Progress callback that panicked (the panic is contained and
+	// reporting disabled; the verdict is unaffected).
+	Warnings []string
 }
 
 // provNode is one slot of the flat provenance arena: which frontier state
@@ -438,6 +443,25 @@ func Search(sc sim.Scenario, opts SearchOptions) SearchResult {
 	states := 1
 	level := 0
 
+	// emitProgress shields the search from the caller's Progress callback:
+	// a panic there is contained, surfaced as a result warning, and
+	// disables further reporting — it never corrupts the verdict.
+	var warnings []string
+	progressBroken := false
+	emitProgress := func(p ProgressInfo) {
+		if opts.Progress == nil || progressBroken {
+			return
+		}
+		defer func() {
+			if rec := recover(); rec != nil {
+				progressBroken = true
+				warnings = append(warnings,
+					fmt.Sprintf("progress callback panicked: %v (progress reporting disabled for the rest of the search)", rec))
+			}
+		}()
+		opts.Progress(p)
+	}
+
 	finish := func(r SearchResult) SearchResult {
 		r.Elapsed = time.Since(start)
 		if secs := r.Elapsed.Seconds(); secs > 0 {
@@ -481,10 +505,8 @@ func Search(sc sim.Scenario, opts SearchOptions) SearchResult {
 				opts.Metrics.Gauge("mcheck_symmetry_group").Set(int64(r.SymmetryGroup))
 			}
 		}
-		if opts.Progress != nil {
-			r2 := r
-			opts.Progress(ProgressInfo{Level: level, States: r2.States, Elapsed: r2.Elapsed, StatesPerSec: r2.StatesPerSec})
-		}
+		emitProgress(ProgressInfo{Level: level, States: r.States, Elapsed: r.Elapsed, StatesPerSec: r.StatesPerSec})
+		r.Warnings = warnings
 		return r
 	}
 
@@ -507,7 +529,7 @@ func Search(sc sim.Scenario, opts SearchOptions) SearchResult {
 			opts.Metrics.Gauge("mcheck_frontier_peak").Max(int64(len(frontier)))
 			opts.Metrics.Gauge("mcheck_states").Set(int64(states))
 		}
-		if opts.Progress != nil {
+		if opts.Progress != nil && !progressBroken {
 			if now := time.Now(); now.Sub(lastProgress) >= progressEvery {
 				lastProgress = now
 				elapsed := now.Sub(start)
@@ -515,7 +537,7 @@ func Search(sc sim.Scenario, opts SearchOptions) SearchResult {
 				if secs := elapsed.Seconds(); secs > 0 {
 					sps = float64(states) / secs
 				}
-				opts.Progress(ProgressInfo{Level: level, Frontier: len(frontier), States: states, Elapsed: elapsed, StatesPerSec: sps})
+				emitProgress(ProgressInfo{Level: level, Frontier: len(frontier), States: states, Elapsed: elapsed, StatesPerSec: sps})
 			}
 		}
 

@@ -1,0 +1,58 @@
+package manifest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler owns the pprof files behind the -profile flag: a CPU profile
+// running from StartProfiles to Stop, and a heap profile snapshotted at
+// Stop. With the flag unset no Profiler exists, so profiling costs
+// nothing when off.
+type Profiler struct {
+	dir     string
+	cpuFile *os.File
+	cpuPath string
+}
+
+// StartProfiles creates dir, opens cpu.pprof there, and starts the CPU
+// profile.
+func StartProfiles(dir string) (*Profiler, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	p := &Profiler{dir: dir, cpuPath: filepath.Join(dir, "cpu.pprof")}
+	f, err := os.Create(p.cpuPath)
+	if err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	p.cpuFile = f
+	return p, nil
+}
+
+// Stop ends the CPU profile and writes heap.pprof (after a GC, so the
+// heap profile reflects live objects). It returns the two file paths.
+func (p *Profiler) Stop() (cpu, heap string, err error) {
+	pprof.StopCPUProfile()
+	if cerr := p.cpuFile.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("profile: %w", cerr)
+	}
+	heapPath := filepath.Join(p.dir, "heap.pprof")
+	f, ferr := os.Create(heapPath)
+	if ferr != nil {
+		return p.cpuPath, "", fmt.Errorf("profile: %w", ferr)
+	}
+	defer f.Close()
+	runtime.GC()
+	if werr := pprof.WriteHeapProfile(f); werr != nil {
+		return p.cpuPath, "", fmt.Errorf("profile: %w", werr)
+	}
+	return p.cpuPath, heapPath, err
+}

@@ -1,0 +1,11 @@
+//go:build !linux && !darwin
+
+package manifest
+
+import "time"
+
+// cpuTime is unavailable without getrusage; the manifest records 0.
+func cpuTime() time.Duration { return 0 }
+
+// peakRSSBytes is unavailable without getrusage; the manifest records 0.
+func peakRSSBytes() int64 { return 0 }

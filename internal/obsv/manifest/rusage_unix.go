@@ -1,0 +1,35 @@
+//go:build linux || darwin
+
+package manifest
+
+import (
+	"runtime"
+	"syscall"
+	"time"
+)
+
+// cpuTime returns the process's cumulative user+system CPU time.
+func cpuTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return tvDuration(ru.Utime) + tvDuration(ru.Stime)
+}
+
+// peakRSSBytes returns the process's peak resident set size in bytes.
+// getrusage reports Maxrss in kilobytes on Linux and bytes on Darwin.
+func peakRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	if runtime.GOOS == "darwin" {
+		return int64(ru.Maxrss)
+	}
+	return int64(ru.Maxrss) * 1024
+}
+
+func tvDuration(tv syscall.Timeval) time.Duration {
+	return time.Duration(tv.Sec)*time.Second + time.Duration(tv.Usec)*time.Microsecond
+}

@@ -27,6 +27,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	help       map[string]string // per-registry HELP overrides, by base name
 }
 
 // NewRegistry returns an empty registry.
@@ -35,7 +36,18 @@ func NewRegistry() *Registry {
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		help:       make(map[string]string),
 	}
+}
+
+// SetHelp sets the HELP text for a metric family (by base name, without
+// labels). Families without explicit help fall back to the package-level
+// table of known names, then to a generated placeholder, so the exposition
+// always carries a HELP line per family.
+func (r *Registry) SetHelp(base, text string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[base] = text
 }
 
 // Label renders one key="value" label pair onto a metric name.
@@ -114,12 +126,20 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
-// Counter returns the named counter, creating it if needed.
+// Counter returns the named counter, creating it if needed. Counter base
+// names must carry the Prometheus `_total` suffix; violating that (or
+// reusing a series name already registered with another type) is a
+// programming error and panics, so a lint-breaking family can never reach
+// an exposition.
 func (r *Registry) Counter(name string) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	c, ok := r.counters[name]
 	if !ok {
+		if !strings.HasSuffix(baseName(name), "_total") {
+			panic(fmt.Sprintf("obsv: counter %q must have a _total-suffixed base name", name))
+		}
+		r.checkUnregistered(name, "counter")
 		c = &Counter{}
 		r.counters[name] = c
 	}
@@ -132,6 +152,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
 	if !ok {
+		r.checkUnregistered(name, "gauge")
 		g = &Gauge{}
 		r.gauges[name] = g
 	}
@@ -146,6 +167,7 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	defer r.mu.Unlock()
 	h, ok := r.histograms[name]
 	if !ok {
+		r.checkUnregistered(name, "histogram")
 		if bounds == nil {
 			bounds = DefaultBuckets
 		}
@@ -156,6 +178,22 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 		r.histograms[name] = h
 	}
 	return h
+}
+
+// checkUnregistered panics if the series name is already registered under a
+// different metric type — that would split one family across two TYPE
+// declarations, which the Prometheus exposition format forbids. Caller
+// holds r.mu.
+func (r *Registry) checkUnregistered(name, kind string) {
+	if _, ok := r.counters[name]; ok && kind != "counter" {
+		panic(fmt.Sprintf("obsv: series %q already registered as a counter, cannot re-register as a %s", name, kind))
+	}
+	if _, ok := r.gauges[name]; ok && kind != "gauge" {
+		panic(fmt.Sprintf("obsv: series %q already registered as a gauge, cannot re-register as a %s", name, kind))
+	}
+	if _, ok := r.histograms[name]; ok && kind != "histogram" {
+		panic(fmt.Sprintf("obsv: series %q already registered as a histogram, cannot re-register as a %s", name, kind))
+	}
 }
 
 // baseName strips a label suffix: `foo{bar="1"}` -> `foo`.
@@ -174,53 +212,125 @@ func fmtFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// builtinHelp documents every metric family the repository's producers
+// emit, keyed by base name. Families not listed here (and not covered by
+// SetHelp) get a generated placeholder, so the exposition always lints.
+var builtinHelp = map[string]string{
+	"sim_messages_injected_total":         "Messages whose header flit entered the network.",
+	"sim_flits_moved_total":               "Individual flit advances, including body-flit injection.",
+	"sim_flits_delivered_total":           "Flits consumed at their destination.",
+	"sim_messages_delivered_total":        "Messages whose tail flit was consumed.",
+	"sim_message_latency_cycles":          "Injection-to-delivery latency per delivered message, in cycles.",
+	"sim_channel_acquires_total":          "Channel acquisitions by message headers.",
+	"sim_channel_occupancy_cycles":        "Cycles a channel was held between acquire and release.",
+	"sim_channel_held_cycles_total":       "Cycles each labeled channel was held (per-channel mode).",
+	"sim_blocks_total":                    "Transitions of a message into the blocked state.",
+	"sim_cycles_blocked_total":            "Total message-cycles spent blocked on a held channel.",
+	"sim_blocked_duration_cycles":         "Duration of individual blocked episodes, in cycles.",
+	"sim_freeze_expiries_total":           "Section 6 freeze counters that expired.",
+	"sim_deadlocks_detected_total":        "Exact Definition 6 deadlock certificates detected.",
+	"fault_injected_total":                "Fault events applied to the simulator.",
+	"fault_injected_by_kind_total":        "Fault events applied, labeled by fault kind.",
+	"fault_interventions_total":           "Watchdog recovery interventions of any kind.",
+	"fault_interventions_by_action_total": "Watchdog recovery interventions, labeled by action.",
+	"warnings_total":                      "Structured warnings surfaced by a run.",
+	"mcheck_search_level":                 "BFS level (network cycle depth) the search is merging.",
+	"mcheck_frontier_size":                "States in the BFS level currently being expanded.",
+	"mcheck_frontier_peak":                "Largest BFS frontier seen so far.",
+	"mcheck_states":                       "Distinct states accepted by the search so far.",
+	"mcheck_peak_visited":                 "Entries retained by the visited set at search end.",
+	"mcheck_workers":                      "Worker goroutines the search ran with.",
+	"mcheck_visited_shard_entries":        "Visited-set entries per shard at search end.",
+	"mcheck_states_pruned":                "Successor candidates discarded by state-space reductions.",
+	"mcheck_sleep_set_hits":               "Expanded states with a non-empty sleep set.",
+	"mcheck_symmetry_group":               "Order of the symmetry group the canonical encoding quotients by.",
+	"cdg_dependencies":                    "Edges of the channel dependency graph.",
+	"cdg_cycles_found":                    "Simple cycles enumerated in the channel dependency graph.",
+	"cdg_sccs":                            "Nontrivial strongly connected components of the CDG.",
+	"cdg_acyclic":                         "1 when the channel dependency graph is acyclic, else 0.",
+}
+
+// helpFor resolves the HELP text for a family. Caller holds r.mu.
+func (r *Registry) helpFor(base, kind string) string {
+	if h, ok := r.help[base]; ok {
+		return h
+	}
+	if h, ok := builtinHelp[base]; ok {
+		return h
+	}
+	return strings.ReplaceAll(base, "_", " ") + " (" + kind + ")."
+}
+
+// escapeHelp escapes a HELP text per the exposition format (backslash and
+// newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promFamily is one metric family of an exposition: every series sharing a
+// base name, all of one type.
+type promFamily struct {
+	kind   string
+	series []string
+}
+
 // WritePrometheus writes every series in Prometheus text exposition
-// format, sorted by series name, with one TYPE header per base name.
+// format. Series are grouped into families by base name — a family is
+// never split or interleaved, and each gets exactly one HELP and one TYPE
+// line — families sorted by base name, label variants sorted within a
+// family, so the output passes `promtool check metrics`-style lint rules
+// and identical registry states export byte-identically.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var names []string
-	kind := make(map[string]string)
+	fams := make(map[string]*promFamily)
+	addFamily := func(n, kind string) {
+		base := baseName(n)
+		f, ok := fams[base]
+		if !ok {
+			f = &promFamily{kind: kind}
+			fams[base] = f
+		}
+		f.series = append(f.series, n)
+	}
 	for n := range r.counters {
-		names = append(names, n)
-		kind[n] = "counter"
+		addFamily(n, "counter")
 	}
 	for n := range r.gauges {
-		names = append(names, n)
-		kind[n] = "gauge"
+		addFamily(n, "gauge")
 	}
 	for n := range r.histograms {
-		names = append(names, n)
-		kind[n] = "histogram"
+		addFamily(n, "histogram")
 	}
-	sort.Strings(names)
-	typed := make(map[string]bool)
-	for _, n := range names {
-		base := baseName(n)
-		if !typed[base] {
-			typed[base] = true
-			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind[n]); err != nil {
-				return err
-			}
+	bases := sortedKeys(fams)
+	for _, base := range bases {
+		f := fams[base]
+		sort.Strings(f.series)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			base, escapeHelp(r.helpFor(base, f.kind)), base, f.kind); err != nil {
+			return err
 		}
-		switch kind[n] {
-		case "counter":
-			fmt.Fprintf(w, "%s %d\n", n, r.counters[n].Value())
-		case "gauge":
-			fmt.Fprintf(w, "%s %d\n", n, r.gauges[n].Value())
-		case "histogram":
-			h := r.histograms[n]
-			h.mu.Lock()
-			cum := int64(0)
-			for i, bound := range h.bounds {
-				cum += h.buckets[i]
-				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, fmtFloat(bound), cum)
+		for _, n := range f.series {
+			switch f.kind {
+			case "counter":
+				fmt.Fprintf(w, "%s %d\n", n, r.counters[n].Value())
+			case "gauge":
+				fmt.Fprintf(w, "%s %d\n", n, r.gauges[n].Value())
+			case "histogram":
+				h := r.histograms[n]
+				h.mu.Lock()
+				cum := int64(0)
+				for i, bound := range h.bounds {
+					cum += h.buckets[i]
+					fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, fmtFloat(bound), cum)
+				}
+				cum += h.buckets[len(h.bounds)]
+				fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
+				fmt.Fprintf(w, "%s_sum %s\n", n, fmtFloat(h.sum))
+				fmt.Fprintf(w, "%s_count %d\n", n, h.count)
+				h.mu.Unlock()
 			}
-			cum += h.buckets[len(h.bounds)]
-			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
-			fmt.Fprintf(w, "%s_sum %s\n", n, fmtFloat(h.sum))
-			fmt.Fprintf(w, "%s_count %d\n", n, h.count)
-			h.mu.Unlock()
 		}
 	}
 	return nil

@@ -67,17 +67,21 @@ func TestWritePrometheus(t *testing.T) {
 	if err := r.WritePrometheus(&sb); err != nil {
 		t.Fatal(err)
 	}
-	want := `# TYPE a_by_kind_total counter
+	want := `# HELP a_by_kind_total a by kind total (counter).
+# TYPE a_by_kind_total counter
 a_by_kind_total{kind="fail"} 1
 a_by_kind_total{kind="stall"} 3
+# HELP b_total b total (counter).
 # TYPE b_total counter
 b_total 2
+# HELP lat lat (histogram).
 # TYPE lat histogram
 lat_bucket{le="1"} 1
 lat_bucket{le="10"} 2
 lat_bucket{le="+Inf"} 3
 lat_sum 55.5
 lat_count 3
+# HELP level level (gauge).
 # TYPE level gauge
 level 9
 `
@@ -85,10 +89,138 @@ level 9
 		t.Errorf("Prometheus output:\n%s\nwant:\n%s", sb.String(), want)
 	}
 
-	// One TYPE header per base name even with multiple label variants.
+	// One HELP and one TYPE header per base name even with multiple label
+	// variants.
 	if strings.Count(sb.String(), "# TYPE a_by_kind_total") != 1 {
 		t.Error("duplicate TYPE header for labeled series")
 	}
+	if strings.Count(sb.String(), "# HELP a_by_kind_total") != 1 {
+		t.Error("duplicate HELP header for labeled series")
+	}
+}
+
+// TestWritePrometheusLint is the golden exposition-format test for the
+// promtool-style lint rules: every family carries HELP then TYPE, families
+// are never interleaved (a plain series, a sibling family sorting between
+// it and its label variants, and the label variants all stay grouped), and
+// known families resolve their curated help text.
+func TestWritePrometheusLint(t *testing.T) {
+	r := NewRegistry()
+	// "foo_sub_total" sorts between "foo_total" and `foo_total{...}` as raw
+	// strings ('_' < '{'): grouping by base name must keep the foo_total
+	// family contiguous anyway.
+	r.Counter("foo_total").Inc()
+	r.Counter(Label("foo_total", "kind", "x")).Add(2)
+	r.Counter("foo_sub_total").Add(7)
+	r.Counter("sim_messages_injected_total").Add(4)
+	r.SetHelp("foo_total", `line with \ and
+newline`)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP foo_sub_total foo sub total (counter).
+# TYPE foo_sub_total counter
+foo_sub_total 7
+# HELP foo_total line with \\ and\nnewline
+# TYPE foo_total counter
+foo_total 1
+foo_total{kind="x"} 2
+# HELP sim_messages_injected_total Messages whose header flit entered the network.
+# TYPE sim_messages_injected_total counter
+sim_messages_injected_total 4
+`
+	if sb.String() != want {
+		t.Errorf("Prometheus lint output:\n%s\nwant:\n%s", sb.String(), want)
+	}
+
+	// Structural lint pass over the full producer metric set: every family
+	// has exactly one HELP immediately followed by one TYPE, and no family
+	// reappears after another family started.
+	full := NewRegistry()
+	sink := NewMetricsSink(full)
+	sink.PerChannel = true
+	for _, e := range []Event{
+		{Kind: KindInject, Msg: 0}, {Kind: KindFlit, Msg: 0, Ch: 1},
+		{Kind: KindAcquire, Msg: 0, Ch: 1}, {Kind: KindRelease, Msg: 0, Ch: 1, Cycle: 3},
+		{Kind: KindBlock, Msg: 0, Ch: 2, Owner: 1}, {Kind: KindUnblock, Msg: 0, Cycle: 5},
+		{Kind: KindConsume, Msg: 0}, {Kind: KindDeliver, Msg: 0, N: 9},
+		{Kind: KindFault, Note: "fail"}, {Kind: KindRecovery, Note: "drop"},
+		{Kind: KindWarning, Note: "w"}, {Kind: KindDeadlock, N: 2},
+		{Kind: KindSearchLevel, Cycle: 1, N: 4, M: 8}, {Kind: KindSearchDone, N: 8},
+	} {
+		sink.Event(e)
+	}
+	var full1 strings.Builder
+	if err := full.WritePrometheus(&full1); err != nil {
+		t.Fatal(err)
+	}
+	lintExposition(t, full1.String())
+}
+
+// lintExposition applies the promtool-style structural rules to an
+// exposition.
+func lintExposition(t *testing.T, text string) {
+	t.Helper()
+	seen := map[string]bool{}
+	cur := ""
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	for i, line := range lines {
+		if strings.HasPrefix(line, "# HELP ") {
+			base := strings.Fields(line)[2]
+			if seen[base] {
+				t.Errorf("line %d: family %s declared twice", i+1, base)
+			}
+			seen[base] = true
+			cur = base
+			if i+1 >= len(lines) || !strings.HasPrefix(lines[i+1], "# TYPE "+base+" ") {
+				t.Errorf("line %d: HELP for %s not followed by its TYPE", i+1, base)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			base, kind := f[2], f[3]
+			if base != cur {
+				t.Errorf("line %d: TYPE %s without preceding HELP", i+1, base)
+			}
+			if kind == "counter" && !strings.HasSuffix(base, "_total") {
+				t.Errorf("line %d: counter family %s lacks _total suffix", i+1, base)
+			}
+			continue
+		}
+		name := line
+		if j := strings.IndexAny(line, "{ "); j >= 0 {
+			name = line[:j]
+		}
+		if !strings.HasPrefix(name, cur) {
+			t.Errorf("line %d: series %s outside its family block (%s)", i+1, name, cur)
+		}
+	}
+}
+
+func TestRegistryRejectsLintViolations(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("counter without _total", func() { NewRegistry().Counter("hits") })
+	expectPanic("labeled counter without _total", func() { NewRegistry().Counter(Label("hits", "k", 1)) })
+	expectPanic("cross-type re-registration", func() {
+		r := NewRegistry()
+		r.Gauge("x_total")
+		r.Counter("x_total")
+	})
+	expectPanic("histogram over existing gauge", func() {
+		r := NewRegistry()
+		r.Gauge("lat")
+		r.Histogram("lat", nil)
+	})
 }
 
 func TestWriteJSONDeterministic(t *testing.T) {
