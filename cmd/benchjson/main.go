@@ -103,6 +103,36 @@ func searchEntry(name string, sc sim.Scenario, opts mcheck.SearchOptions, want m
 	return e
 }
 
+// livenessEntry is searchEntry for the liveness engine.
+func livenessEntry(name string, sc sim.Scenario, opts mcheck.SearchOptions, want mcheck.Verdict) entry {
+	probeOpts := opts
+	probeOpts.Tracer = obs.Tracer
+	probeOpts.Metrics = obs.Metrics
+	probeOpts.Progress = obs.SearchProgress(name)
+	probe := mcheck.SearchLiveness(sc, probeOpts)
+	if probe.Verdict != want {
+		fail("%s: verdict %v; want %v", name, probe.Verdict, want)
+	}
+	r := bench(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mcheck.SearchLiveness(sc, opts)
+		}
+	})
+	e := entry{
+		Name:        name,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		States:      probe.States,
+		Verdict:     probe.Verdict.String(),
+	}
+	if e.NsPerOp > 0 {
+		e.StatesPerSec = int64(float64(probe.States) / (float64(e.NsPerOp) / 1e9))
+	}
+	return e
+}
+
 func plainEntry(name string, f func(b *testing.B)) entry {
 	r := bench(f)
 	return entry{
@@ -225,6 +255,11 @@ func main() {
 			}
 		}
 	}))
+	// E8: the liveness engine over the same headline workload as E1 — the
+	// DFS with local-deadlock checks and lasso detection, priced against
+	// the plain BFS row above.
+	add(livenessEntry("E8_LivenessSearch", papernets.Figure1().Scenario,
+		mcheck.SearchOptions{}, mcheck.VerdictNoDeadlock))
 	// Encoder microbench: EncodeTo on a mid-flight state.
 	add(plainEntry("EncodeTo", func(b *testing.B) {
 		s := papernets.Figure1().Scenario.NewSim()

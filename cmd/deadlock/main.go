@@ -6,10 +6,16 @@
 // paper's adversarial message set; on any other network it cross-checks
 // every decomposed configuration's single-instance scenario instead.
 //
+// With -liveness (paper networks only) the liveness engine additionally
+// decides local deadlock and livelock: a Definition 6 cycle that kills only
+// a subnetwork is reported with its exact blocked channel set, and a
+// stale-selection livelock with a replayable stem+loop lasso witness.
+//
 // Examples:
 //
 //	deadlock -paper figure1 -verify
 //	deadlock -paper gen3 -verify -stall 3
+//	deadlock -paper figure2 -liveness
 //	deadlock -topo uring -dims 4 -alg bfs -verify
 package main
 
@@ -34,6 +40,7 @@ func main() {
 		vcs     = flag.Int("vcs", 1, "virtual channels per link")
 		algf    = flag.String("alg", "dor", "routing algorithm")
 		verify  = flag.Bool("verify", false, "verify the verdict with the exhaustive model checker")
+		livens  = flag.Bool("liveness", false, "also run the liveness engine: local-deadlock and livelock search (requires -paper)")
 		stall   = flag.Int("stall", 0, "adversarial stall budget for -verify (Section 6 clock-skew model)")
 		workers = flag.Int("workers", 0, "search worker goroutines (0 = GOMAXPROCS; the verdict is identical for every value)")
 	)
@@ -41,6 +48,9 @@ func main() {
 	redF := cli.RegisterReductionFlag()
 	flag.Parse()
 	red := cli.Reduction(*redF)
+	if *livens && *paper == "" {
+		log.Fatal("deadlock: -liveness needs -paper (a concrete scenario for the liveness engine to search)")
+	}
 
 	var alg routing.Algorithm
 	var pn *papernets.Net
@@ -156,6 +166,38 @@ func main() {
 					fmt.Printf(" m%d selects c%d", id, ch)
 				}
 				fmt.Println()
+			}
+		}
+	}
+
+	if *livens && pn != nil {
+		res := mcheck.SearchLiveness(pn.Scenario, searchOpts)
+		obs.PublishSearchDone(obsName+" liveness", res)
+		run := cli.SearchRun(obsName+" liveness", pn.Scenario.Net, res)
+		run.Scenario = pn.Scenario.Name
+		obs.RecordRun(run)
+		fmt.Printf("liveness:   %s over %d states (stall budget %d, %s)\n",
+			res.Verdict, res.States, *stall, res.Elapsed.Round(time.Millisecond))
+		for _, w := range res.Warnings {
+			fmt.Printf("            warning: %s\n", w)
+		}
+		switch res.Verdict {
+		case mcheck.VerdictLocalDeadlock:
+			fmt.Printf("            local deadlock: %s\n", res.Local)
+			fmt.Printf("            blocked subnetwork: channels %v are dead forever; messages %v still deliverable\n",
+				res.Local.Blocked, res.Local.Live)
+		case mcheck.VerdictDeadlock:
+			if res.Deadlock != nil {
+				fmt.Printf("            global deadlock: %s\n", res.Deadlock)
+			}
+		case mcheck.VerdictLivelock:
+			l := res.Lasso
+			fmt.Printf("            livelock lasso: stem %d decisions, loop %d decisions, starved messages %v\n",
+				len(l.Stem), len(l.Loop), l.Starved)
+			if err := mcheck.VerifyLasso(pn.Scenario, l); err != nil {
+				fmt.Printf("            lasso verification FAILED: %v\n", err)
+			} else {
+				fmt.Println("            lasso verified: the loop reproduces its head and no starved message ever advances")
 			}
 		}
 	}

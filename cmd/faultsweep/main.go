@@ -80,6 +80,7 @@ func main() {
 		routerfrac = flag.Float64("routerfrac", 0, "fraction of faults striking a whole router")
 		faultseed  = flag.Int64("faultseed", 1, "fault generation seed")
 		policies   = flag.String("policies", "abort-retry,drop,reroute", "comma-separated recovery policies")
+		fairness   = flag.Bool("fairness", false, "exit nonzero if any cell leaves a message unaccounted (not delivered, dropped by policy, in recovery, or excused)")
 		outPath    = flag.String("o", "", "output file (default stdout)")
 	)
 	obsvF := cli.RegisterObsvFlags()
@@ -157,12 +158,27 @@ func main() {
 	out = append(out, '\n')
 	if *outPath == "" {
 		os.Stdout.Write(out)
-		return
+	} else {
+		if err := os.WriteFile(*outPath, out, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("faultsweep: wrote %d cells to %s\n", len(doc.Cells), *outPath)
 	}
-	if err := os.WriteFile(*outPath, out, 0o644); err != nil {
-		log.Fatal(err)
+
+	if *fairness {
+		unfair := 0
+		for _, c := range doc.Cells {
+			if a := c.Report.Accounting; !a.Fair() {
+				unfair++
+				fmt.Fprintf(os.Stderr, "faultsweep: FAIRNESS VIOLATION mtbf=%g policy=%s: messages %v unaccounted (ledger %+v)\n",
+					c.MTBF, c.Policy, a.Unaccounted, a)
+			}
+		}
+		if unfair > 0 {
+			log.Fatalf("faultsweep: %d of %d cells left messages unaccounted", unfair, len(doc.Cells))
+		}
+		fmt.Fprintf(os.Stderr, "faultsweep: fairness OK — every message in all %d cells is delivered, dropped by policy, in recovery, or excused\n", len(doc.Cells))
 	}
-	fmt.Printf("faultsweep: wrote %d cells to %s\n", len(doc.Cells), *outPath)
 }
 
 // runCell simulates one (schedule, policy) point on a fresh simulator.

@@ -1,0 +1,268 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cli"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// TestVictimSelectionAging: without aging the watchdog kills the youngest
+// cycle member; with aging, fairness outranks progress preservation — a
+// member that has already been through recovery loses the victim lottery
+// to one that never has.
+func TestVictimSelectionAging(t *testing.T) {
+	s := ringDeadlock(t)
+	if out := s.Run(100); out.Result != sim.ResultDeadlock {
+		t.Fatalf("setup: result = %v", out.Result)
+	}
+	cycle := []int{0, 1, 2, 3}
+	// Member 3 has been intervened on before (cycle 7); the rest never.
+	recoveryStart := []int{-1, -1, -1, 7}
+
+	r := &Runner{Sim: s, Recovery: DefaultRecovery(AbortRetry)}
+	r.Recovery.Aging = false
+	if got := r.victim(cycle, recoveryStart); got != 3 {
+		t.Fatalf("unaged victim = %d; want the youngest member 3", got)
+	}
+	r.Recovery.Aging = true
+	if got := r.victim(cycle, recoveryStart); got != 2 {
+		t.Fatalf("aged victim = %d; want 2 (never intervened, youngest tiebreak)", got)
+	}
+}
+
+// chainStall builds a 3-node chain where a long "holder" message streams
+// through the second channel while a short "waiter" blocks behind it: a
+// starvation scenario with no Definition 6 cycle anywhere.
+func chainStall(t *testing.T, holderLen int) (*sim.Sim, int, int) {
+	t.Helper()
+	net := topology.New("chain")
+	net.AddNodes(3)
+	c0 := net.AddChannel(0, 1, 0, "c0")
+	c1 := net.AddChannel(1, 2, 0, "c1")
+	s := sim.New(net, sim.Config{})
+	holder := s.MustAdd(sim.MessageSpec{Src: 1, Dst: 2, Length: holderLen,
+		Path: []topology.ChannelID{c1}})
+	waiter := s.MustAdd(sim.MessageSpec{Src: 0, Dst: 2, Length: 2,
+		Path: []topology.ChannelID{c0, c1}})
+	return s, holder, waiter
+}
+
+// TestTimeoutClassificationStarvationThenLivelock: the waiter's first
+// timeout intervention is a starvation (it never got going); when its
+// retry stalls behind the same holder the next intervention is a livelock
+// (reset again without progress). Both end up delivered, so the run is
+// fair.
+func TestTimeoutClassificationStarvationThenLivelock(t *testing.T) {
+	s, _, _ := chainStall(t, 300)
+	cfg := DefaultRecovery(AbortRetry)
+	cfg.Watchdog.Timeout = 16
+	r := Runner{Sim: s, Recovery: cfg}
+	rep := r.Run(10_000)
+	if rep.Outcome.Result != sim.ResultDelivered {
+		t.Fatalf("result = %s; want delivered", rep.Result)
+	}
+	if rep.Starvations == 0 {
+		t.Fatal("the waiter's first timeout should classify as starvation")
+	}
+	if rep.Livelocks == 0 {
+		t.Fatal("the waiter's repeat timeout should classify as livelock")
+	}
+	if rep.DeadlocksDetected != 0 {
+		t.Fatalf("%d exact detections; the chain has no Definition 6 cycle", rep.DeadlocksDetected)
+	}
+	if got := rep.Accounting; got.Delivered != 2 || !got.Fair() {
+		t.Fatalf("accounting = %+v; want 2 delivered, zero unaccounted", got)
+	}
+}
+
+// TestLocalDeadlockClassification: the exact detector catches the ring
+// cycle while a disjoint bystander is still streaming flits, so the
+// detection must be classified local — the cycle killed a subnetwork, not
+// the network.
+func TestLocalDeadlockClassification(t *testing.T) {
+	net := topology.New("ringplus")
+	net.AddNodes(6)
+	var chans [4]topology.ChannelID
+	for i := 0; i < 4; i++ {
+		chans[i] = net.AddChannel(topology.NodeID(i), topology.NodeID((i+1)%4), 0, "")
+	}
+	side := net.AddChannel(4, 5, 0, "side")
+	s := sim.New(net, sim.Config{})
+	for i := 0; i < 4; i++ {
+		s.MustAdd(sim.MessageSpec{
+			Src: topology.NodeID(i), Dst: topology.NodeID((i + 2) % 4),
+			Length: 2,
+			Path:   []topology.ChannelID{chans[i], chans[(i+1)%4]},
+		})
+	}
+	s.MustAdd(sim.MessageSpec{Src: 4, Dst: 5, Length: 60,
+		Path: []topology.ChannelID{side}})
+
+	r := Runner{Sim: s, Recovery: DefaultRecovery(AbortRetry)}
+	rep := r.Run(10_000)
+	if rep.Outcome.Result != sim.ResultDelivered {
+		t.Fatalf("result = %s; want delivered", rep.Result)
+	}
+	if rep.LocalDeadlocks == 0 {
+		t.Fatal("the ring cycle was caught while the bystander streamed; want a local classification")
+	}
+	if rep.LocalDeadlocks > rep.DeadlocksDetected {
+		t.Fatalf("local %d > detected %d", rep.LocalDeadlocks, rep.DeadlocksDetected)
+	}
+}
+
+// TestGlobalDeadlockNotClassifiedLocal: with nothing outside the cycle the
+// detection must stay global.
+func TestGlobalDeadlockNotClassifiedLocal(t *testing.T) {
+	r := Runner{Sim: ringDeadlock(t), Recovery: DefaultRecovery(AbortRetry)}
+	rep := r.Run(10_000)
+	if rep.DeadlocksDetected == 0 {
+		t.Fatal("the exact detector should have fired")
+	}
+	if rep.LocalDeadlocks != 0 {
+		t.Fatalf("%d local classifications; the pure ring is a global deadlock", rep.LocalDeadlocks)
+	}
+}
+
+// diamondNet builds the A/B/C/D diamond used by the reroute tests: two
+// disjoint A->C routes (via B and via D) plus a return edge for strong
+// connectivity.
+func diamondNet(t *testing.T) (net *topology.Network, ab, bc, ad, dc topology.ChannelID) {
+	t.Helper()
+	net = topology.New("diamond")
+	a := net.AddNode("A")
+	b := net.AddNode("B")
+	c := net.AddNode("C")
+	d := net.AddNode("D")
+	ab = net.AddChannel(a, b, 0, "A->B")
+	bc = net.AddChannel(b, c, 0, "B->C")
+	ad = net.AddChannel(a, d, 0, "A->D")
+	dc = net.AddChannel(d, c, 0, "D->C")
+	net.AddChannel(c, a, 0, "C->A")
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return net, ab, bc, ad, dc
+}
+
+// TestRerouteUnreachableDrops: when every route to the destination is
+// permanently dead, reroute must degrade to a drop with a warning instead
+// of retrying forever.
+func TestRerouteUnreachableDrops(t *testing.T) {
+	net, ab, bc, _, dc := diamondNet(t)
+	s := sim.New(net, sim.Config{})
+	id := s.MustAdd(sim.MessageSpec{Src: 0, Dst: 2, Length: 3,
+		Path: []topology.ChannelID{ab, bc}})
+	sch := Schedule{Events: []Event{
+		{At: 0, Kind: LinkFail, Channel: bc},
+		{At: 0, Kind: LinkFail, Channel: dc},
+	}}
+	r := Runner{Sim: s, Schedule: sch, Recovery: DefaultRecovery(Reroute)}
+	rep := r.Run(10_000)
+	if rep.Outcome.Result != sim.ResultDegraded {
+		t.Fatalf("result = %s; want degraded", rep.Result)
+	}
+	if !s.Dropped(id) {
+		t.Fatal("the unreachable message should have been dropped")
+	}
+	if rep.Drops != 1 || rep.Reroutes != 0 {
+		t.Fatalf("drops %d reroutes %d; want 1 drop, no futile reroutes", rep.Drops, rep.Reroutes)
+	}
+	found := false
+	for _, w := range rep.Warnings {
+		if w.Msg == id && strings.Contains(w.Text, "unreachable") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no unreachable warning in %v", rep.Warnings)
+	}
+	if got := rep.Accounting; got.DroppedByPolicy != 1 || !got.Fair() {
+		t.Fatalf("accounting = %+v; want the drop accounted", got)
+	}
+}
+
+// TestRerouteFallsBackToRetryWhenNoLivePath: the victim's own path crosses
+// a permanent failure, but the only detour is down transiently — reroute
+// finds no live path right now, yet the message is not hopeless, so the
+// policy must fall back to plain abort-retry with a warning and win once
+// the detour heals.
+func TestRerouteFallsBackToRetryWhenNoLivePath(t *testing.T) {
+	net, ab, bc, ad, dc := diamondNet(t)
+	s := sim.New(net, sim.Config{})
+	id := s.MustAdd(sim.MessageSpec{Src: 0, Dst: 2, Length: 3,
+		Path: []topology.ChannelID{ab, bc}})
+	sch := Schedule{Events: []Event{
+		{At: 0, Kind: LinkFail, Channel: bc},
+		{At: 0, Kind: LinkStall, Channel: ad, Repair: 300},
+	}}
+	r := Runner{Sim: s, Schedule: sch, Recovery: DefaultRecovery(Reroute)}
+	rep := r.Run(10_000)
+	if rep.Outcome.Result != sim.ResultDelivered {
+		t.Fatalf("result = %s; want delivered after the detour heals (report %+v)", rep.Result, rep)
+	}
+	if rep.AbortRetries == 0 {
+		t.Fatal("want at least one abort-retry fallback while the detour was down")
+	}
+	if rep.Reroutes == 0 {
+		t.Fatal("want the reroute to land once the detour healed")
+	}
+	if rep.Drops != 0 {
+		t.Fatalf("drops = %d; the message was never hopeless", rep.Drops)
+	}
+	found := false
+	for _, w := range rep.Warnings {
+		if w.Msg == id && strings.Contains(w.Text, "no live path") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no fallback warning in %v", rep.Warnings)
+	}
+	got := s.Message(id).Path
+	want := []topology.ChannelID{ad, dc}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("final path = %v; want detour %v", got, want)
+	}
+}
+
+// TestAccountingFairCampaign: a full randomized campaign under every policy
+// accounts for every message — the sum of the ledger buckets equals the
+// message count and nothing is unaccounted.
+func TestAccountingFairCampaign(t *testing.T) {
+	for _, p := range []Policy{AbortRetry, Drop, Reroute} {
+		t.Run(p.String(), func(t *testing.T) {
+			alg, _, err := cli.Build("mesh", "dor", "4x4", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := traffic.Workload{Alg: alg, Pattern: traffic.Uniform(16), Rate: 0.05, Length: 8, Duration: 150, Seed: 7}
+			msgs, err := w.Messages()
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := sim.New(alg.Network(), sim.Config{})
+			for _, m := range msgs {
+				s.MustAdd(m)
+			}
+			sch, err := Generate(alg.Network(), GenParams{Seed: 11, Horizon: 150, MTBF: 400, MeanRepair: 25, PermanentFraction: 0.2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := Runner{Sim: s, Schedule: sch, Recovery: DefaultRecovery(p), Alg: alg}
+			rep := r.Run(100_000)
+			a := rep.Accounting
+			if !a.Fair() {
+				t.Fatalf("unaccounted messages %v (ledger %+v)", a.Unaccounted, a)
+			}
+			total := a.Delivered + a.DroppedByPolicy + a.InRecovery + a.Excused
+			if total != s.NumMessages() {
+				t.Fatalf("ledger sums to %d of %d messages: %+v", total, s.NumMessages(), a)
+			}
+		})
+	}
+}

@@ -89,16 +89,27 @@ type RecoveryConfig struct {
 	// MaxRetries bounds abort-retry attempts per message; once exceeded the
 	// message is dropped instead. <= 0 means unlimited.
 	MaxRetries int
+	// Aging makes recovery provably fair. Victim selection prefers the
+	// message the recovery layer has punished least (fewest retries, then
+	// never-intervened, then the usual youngest rule), and the oldest
+	// outstanding victim reinjects at BackoffBase with no exponential
+	// penalty — so no message can be starved by repeatedly losing the
+	// victim lottery or by its own growing backoff.
+	Aging bool
 }
 
-// DefaultRecovery returns the standard recovery tuning for the policy.
+// DefaultRecovery returns the standard recovery tuning for the policy:
+// fair (aged) victim selection and a bounded retry budget, so every
+// message is eventually delivered, dropped by policy, or classified —
+// never silently stuck in an unbounded retry loop.
 func DefaultRecovery(p Policy) RecoveryConfig {
 	return RecoveryConfig{
 		Policy:      p,
 		Watchdog:    DefaultWatchdog(),
 		BackoffBase: 8,
 		BackoffMax:  256,
-		MaxRetries:  0,
+		MaxRetries:  64,
+		Aging:       true,
 	}
 }
 

@@ -52,11 +52,50 @@ type Report struct {
 	// heuristic (including forced sweeps on quiescent stuck states).
 	DeadlocksDetected int `json:"deadlocks_detected"`
 	TimeoutSuspicions int `json:"timeout_suspicions"`
+	// LocalDeadlocks counts exact detections that were local: some message
+	// outside the cycle could still advance when the cycle was caught, so
+	// the deadlock had killed a subnetwork, not the network.
+	LocalDeadlocks int `json:"local_deadlocks"`
+	// Livelocks counts timeout interventions on messages that had already
+	// been reset at least once — the message keeps being reinjected and
+	// re-blocked without ever delivering.
+	Livelocks int `json:"livelocks"`
+	// Starvations counts timeout interventions on first offenders: the
+	// message made no progress at all within the timeout while the rest of
+	// the network moved on.
+	Starvations int `json:"starvations"`
+	// Accounting is the end-of-run fairness ledger; see Accounting.
+	Accounting Accounting `json:"accounting"`
 	// MeanRecoveryLatency is the mean, over messages that needed at least
 	// one intervention and were eventually delivered, of the cycles from
 	// first intervention to delivery. 0 when no such message exists.
 	MeanRecoveryLatency float64 `json:"mean_recovery_latency"`
 }
+
+// Accounting is the recovery layer's fairness ledger: at the end of a run
+// every message must fall into exactly one bucket. A message that is none
+// of delivered, dropped by policy, under recovery, or legitimately excused
+// (frozen, not yet due, stalled behind a transient fault, or still inside
+// the watchdog's detection window) is unaccounted — the recovery layer
+// lost track of it, which the fairness checker treats as a bug.
+type Accounting struct {
+	Delivered       int `json:"delivered"`
+	DroppedByPolicy int `json:"dropped_by_policy"`
+	// InRecovery counts undelivered messages the watchdog has classified
+	// and intervened on at least once.
+	InRecovery int `json:"in_recovery"`
+	// Excused counts undelivered, unclassified messages with a legitimate
+	// excuse: frozen, injection not yet due, stalled behind a transient
+	// fault, or within Timeout+CheckEvery cycles of their last progress
+	// (the watchdog simply has not had time to classify them).
+	Excused int `json:"excused"`
+	// Unaccounted lists the message IDs in no bucket. Always empty when
+	// the recovery layer is fair.
+	Unaccounted []int `json:"unaccounted,omitempty"`
+}
+
+// Fair reports whether every message is accounted for.
+func (a Accounting) Fair() bool { return len(a.Unaccounted) == 0 }
 
 // Runner drives a simulation under a fault schedule with a recovery layer:
 // each cycle it applies due fault events, steps the engine, and
@@ -245,6 +284,7 @@ func (r *Runner) Run(maxCycles int) Report {
 	rep.Result = rep.Outcome.Result.String()
 	rep.Cycles = rep.Outcome.Cycles
 	rep.Stats = sim.Collect(s)
+	rep.Accounting = r.account(stamp, recoveryStart)
 	rep.MeanRecoveryLatency = meanRecoveryLatency(s, recoveryStart)
 	if r.Progress != nil {
 		beat(&rep)
@@ -284,7 +324,32 @@ func (r *Runner) sweep(rep *Report, stamp, recoveryStart []int, forced bool) {
 			ev.Note = "definition-6 cycle"
 			r.Tracer.Event(ev)
 		}
-		r.intervene(rep, recoveryStart, r.youngest(d.Cycle), now)
+		// Classify the scope: when any message outside the cycle can still
+		// advance, the cycle has only killed a subnetwork — a local
+		// deadlock in the Stramaglia/Keiren/Zantema sense. (A forced sweep
+		// fires on a quiescent state, where nothing advances: global.)
+		member := make(map[int]bool, len(d.Cycle))
+		for _, id := range d.Cycle {
+			member[id] = true
+		}
+		for id := 0; id < s.NumMessages(); id++ {
+			mv := s.Message(id)
+			if member[id] || mv.Delivered || mv.Dropped {
+				continue
+			}
+			if s.CanAdvance(id) {
+				rep.LocalDeadlocks++
+				if r.Tracer != nil {
+					ev := obsv.Ev(obsv.KindLocalDeadlock, now)
+					ev.N = len(d.Cycle)
+					ev.Msg = id
+					ev.Note = "cycle with live bystanders"
+					r.Tracer.Event(ev)
+				}
+				break
+			}
+		}
+		r.intervene(rep, recoveryStart, r.victim(d.Cycle, recoveryStart), now)
 		return
 	}
 
@@ -313,6 +378,28 @@ func (r *Runner) sweep(rep *Report, stamp, recoveryStart []int, forced bool) {
 	}
 	if victim >= 0 {
 		rep.TimeoutSuspicions++
+		// Classify the suspicion: a message the recovery layer has already
+		// reset at least once and that stalled again is livelocking —
+		// reinjection keeps happening, delivery never does. A first
+		// offender simply starved.
+		if s.Retries(victim) > 0 {
+			rep.Livelocks++
+			if r.Tracer != nil {
+				ev := obsv.Ev(obsv.KindLivelock, now)
+				ev.Msg = victim
+				ev.N = s.Retries(victim)
+				ev.Note = "reset again without progress"
+				r.Tracer.Event(ev)
+			}
+		} else {
+			rep.Starvations++
+			if r.Tracer != nil {
+				ev := obsv.Ev(obsv.KindStarvation, now)
+				ev.Msg = victim
+				ev.Note = "no progress within timeout"
+				r.Tracer.Event(ev)
+			}
+		}
 		r.intervene(rep, recoveryStart, victim, now)
 	}
 }
@@ -326,6 +413,41 @@ func (r *Runner) cycleCertain(d *waitfor.Deadlock) bool {
 		}
 	}
 	return true
+}
+
+// victim picks the cycle member to intervene on. Without aging this is the
+// classic youngest-first rule. With Aging, fairness outranks progress
+// preservation: the member the recovery layer has punished least goes
+// first — fewest retries, then never-intervened before already-recovering
+// members, then the usual youngest tiebreak — so no single message eats
+// every abort while its cycle-mates never pay.
+func (r *Runner) victim(cycle []int, recoveryStart []int) int {
+	if !r.Recovery.Aging {
+		return r.youngest(cycle)
+	}
+	best := cycle[0]
+	for _, id := range cycle[1:] {
+		if r.agedBefore(id, best, recoveryStart) {
+			best = id
+		}
+	}
+	return best
+}
+
+// agedBefore orders two cycle members by how little the recovery layer has
+// punished them: fewer retries first, never-intervened first, then the
+// youngest rule (latest injection, ties to the highest ID).
+func (r *Runner) agedBefore(a, b int, recoveryStart []int) bool {
+	if ra, rb := r.Sim.Retries(a), r.Sim.Retries(b); ra != rb {
+		return ra < rb
+	}
+	if na, nb := recoveryStart[a] < 0, recoveryStart[b] < 0; na != nb {
+		return na
+	}
+	if ia, ib := r.Sim.Message(a).InjectedAt, r.Sim.Message(b).InjectedAt; ia != ib {
+		return ia > ib
+	}
+	return a > b
 }
 
 // youngest picks the victim from a deadlock cycle: the member injected
@@ -379,7 +501,7 @@ func (r *Runner) intervene(rep *Report, recoveryStart []int, id, now int) {
 			drop("retry budget exhausted")
 			return
 		}
-		s.ResetMessage(id, now+1+r.backoff(id))
+		s.ResetMessage(id, now+1+r.backoff(id, recoveryStart))
 		rep.AbortRetries++
 		recovery("abort-retry")
 	case Reroute:
@@ -395,7 +517,7 @@ func (r *Runner) intervene(rep *Report, recoveryStart []int, id, now int) {
 				drop("destination unreachable over live channels")
 				return
 			}
-			s.ResetMessage(id, now+1+r.backoff(id))
+			s.ResetMessage(id, now+1+r.backoff(id, recoveryStart))
 			rep.Reroutes++
 			recovery("reroute")
 			return
@@ -415,13 +537,13 @@ func (r *Runner) intervene(rep *Report, recoveryStart []int, id, now int) {
 				drop("destination unreachable over live channels")
 				return
 			}
-			s.ResetMessage(id, now+1+r.backoff(id))
+			s.ResetMessage(id, now+1+r.backoff(id, recoveryStart))
 			rep.AbortRetries++
 			recovery("abort-retry")
 			r.warn(rep, now, id, "reroute found no live path; retrying the old path")
 			return
 		}
-		s.ResetMessage(id, now+1+r.backoff(id))
+		s.ResetMessage(id, now+1+r.backoff(id, recoveryStart))
 		if err := s.SetMessagePath(id, path); err != nil {
 			// The old path stands; the retry alone may still succeed.
 			rep.AbortRetries++
@@ -464,7 +586,13 @@ func (r *Runner) retriesExhausted(id int) bool {
 // backoff returns the reinjection delay for the victim's next retry:
 // BackoffBase doubled per prior retry, capped at BackoffMax. The growing,
 // per-message delays desynchronise the reinjections of repeat offenders.
-func (r *Runner) backoff(id int) int {
+// Under Aging the oldest outstanding victim is exempt: it reinjects at
+// BackoffBase so its own backoff can never starve it behind younger
+// traffic.
+func (r *Runner) backoff(id int, recoveryStart []int) int {
+	if r.Recovery.Aging && r.oldestOutstanding(id, recoveryStart) {
+		return r.Recovery.BackoffBase
+	}
 	b := r.Recovery.BackoffBase
 	for i := 0; i < r.Sim.Retries(id); i++ {
 		b *= 2
@@ -473,6 +601,57 @@ func (r *Runner) backoff(id int) int {
 		}
 	}
 	return b
+}
+
+// oldestOutstanding reports whether id is the longest-suffering victim
+// still in flight: among undelivered, undropped messages that have been
+// intervened on, it has the earliest first intervention (ties to the
+// lowest ID).
+func (r *Runner) oldestOutstanding(id int, recoveryStart []int) bool {
+	for other := range recoveryStart {
+		if other == id || recoveryStart[other] < 0 {
+			continue
+		}
+		mv := r.Sim.Message(other)
+		if mv.Delivered || mv.Dropped {
+			continue
+		}
+		if recoveryStart[other] < recoveryStart[id] ||
+			(recoveryStart[other] == recoveryStart[id] && other < id) {
+			return false
+		}
+	}
+	return true
+}
+
+// account builds the end-of-run fairness ledger. stamp is the last cycle
+// each message made progress or was excused; recoveryStart the cycle of
+// each message's first intervention (-1 for none).
+func (r *Runner) account(stamp, recoveryStart []int) Accounting {
+	s := r.Sim
+	now := s.Now()
+	grace := r.Recovery.Watchdog.Timeout + r.Recovery.Watchdog.CheckEvery
+	var a Accounting
+	for id := 0; id < s.NumMessages(); id++ {
+		mv := s.Message(id)
+		switch {
+		case mv.Delivered:
+			a.Delivered++
+		case mv.Dropped:
+			a.DroppedByPolicy++
+		case recoveryStart[id] >= 0:
+			a.InRecovery++
+		case mv.Frozen > 0 || now <= mv.Spec.InjectAt || now-stamp[id] < grace:
+			a.Excused++
+		default:
+			if _, blocked := s.FaultBlocked(id); blocked {
+				a.Excused++
+				continue
+			}
+			a.Unaccounted = append(a.Unaccounted, id)
+		}
+	}
+	return a
 }
 
 // finalOutcome classifies the end state the way sim.Run would.

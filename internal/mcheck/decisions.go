@@ -72,6 +72,15 @@ type enumConfig struct {
 	// caller clones the simulator — and are deterministic functions of
 	// the state, keeping ordinals aligned between search and rebuild.
 	por bool
+	// maskAll widens adaptive selection nondeterminism to every wanted
+	// candidate, not just acquirable ones: selecting an owned candidate
+	// stalls the message for the cycle at no budget cost — a "stale"
+	// selection, modeling an adaptive router that persistently offers a
+	// busy output. The liveness engine enables this to expose starvation
+	// loops; the plain deadlock engine keeps it off, because a stale
+	// selection is a stutter step that can neither create nor destroy a
+	// reachable deadlock.
+	maskAll bool
 }
 
 // enumStats counts partial-order pruning activity across an enumeration's
@@ -225,6 +234,15 @@ func (e *decisionEnum) maskLoop(fn func(d *Decision) bool) bool {
 			continue
 		}
 		cands := e.probe.AcquirableCandidates(id)
+		// Under maskAll, a message that could acquire something may
+		// instead be handed a stale selection onto an owned candidate;
+		// with nothing acquirable it is blocked whatever it selects, so
+		// the extra choices would only duplicate successors.
+		if e.cfg.maskAll && len(cands) > 0 {
+			if all := e.probe.Candidates(id); len(all) > len(cands) {
+				cands = all
+			}
+		}
 		if len(cands) < 2 {
 			continue
 		}

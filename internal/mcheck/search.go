@@ -57,6 +57,16 @@ const (
 	// VerdictExhausted: the state or run budget was exceeded before the
 	// search completed; the result is inconclusive.
 	VerdictExhausted
+	// VerdictLocalDeadlock: a reachable state contains a permanent
+	// Definition 6 cycle while traffic outside the blocked subnetwork can
+	// still be delivered — a local deadlock in the sense of Stramaglia,
+	// Keiren & Zantema. Reported only by SearchLiveness; the plain engine
+	// folds these into VerdictDeadlock.
+	VerdictLocalDeadlock
+	// VerdictLivelock: SearchLiveness found a reachable cycle of states
+	// along which some in-flight message never advances — a lasso; see
+	// SearchResult.Lasso for the replayable witness.
+	VerdictLivelock
 )
 
 // String renders the verdict.
@@ -68,6 +78,10 @@ func (v Verdict) String() string {
 		return "deadlock"
 	case VerdictExhausted:
 		return "exhausted"
+	case VerdictLocalDeadlock:
+		return "local-deadlock"
+	case VerdictLivelock:
+		return "livelock"
 	}
 	return fmt.Sprintf("Verdict(%d)", int(v))
 }
@@ -161,6 +175,11 @@ type SearchResult struct {
 	// Deadlock, for VerdictDeadlock, is the Definition 6 cycle in the
 	// final state.
 	Deadlock *waitfor.Deadlock
+	// Local, for VerdictLocalDeadlock, is the blocked-subnetwork witness
+	// (the cycle, the channels it kills, and the surviving traffic).
+	Local *waitfor.LocalDeadlock
+	// Lasso, for VerdictLivelock, is the replayable stem+loop witness.
+	Lasso *Lasso
 
 	// Elapsed is the wall time the search took.
 	Elapsed time.Duration

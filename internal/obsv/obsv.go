@@ -76,6 +76,16 @@ const (
 	// KindSearchDone: the search finished with N states; Note holds the
 	// verdict string.
 	KindSearchDone
+	// KindLocalDeadlock: an exact local-deadlock certificate — a permanent
+	// Definition 6 cycle of N members while other traffic stays live.
+	KindLocalDeadlock
+	// KindLivelock: the watchdog classified an intervention as livelock —
+	// message Msg keeps being reset and re-blocked without net progress.
+	KindLivelock
+	// KindStarvation: the watchdog classified an intervention as
+	// starvation — message Msg has made no progress at all within the
+	// timeout while the network stayed live.
+	KindStarvation
 )
 
 // String returns the stable wire name of the kind, used by every sink.
@@ -117,6 +127,12 @@ func (k Kind) String() string {
 		return "search-level"
 	case KindSearchDone:
 		return "search-done"
+	case KindLocalDeadlock:
+		return "local-deadlock"
+	case KindLivelock:
+		return "livelock"
+	case KindStarvation:
+		return "starvation"
 	}
 	return "unknown"
 }

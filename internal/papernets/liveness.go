@@ -1,0 +1,97 @@
+package papernets
+
+import (
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Liveness counterexample gallery. Unlike the Figure/GenK constructions
+// these networks are not from the paper: they exercise the liveness
+// taxonomy of Stramaglia, Keiren & Zantema — local deadlock, livelock,
+// starvation — that the paper's global Definition 6 verdict cannot
+// distinguish. They are shared by the mcheck liveness tests and the
+// cmd/repro E9 experiment.
+
+// LocalRings builds the canonical local-deadlock scenario: two disjoint
+// unidirectional 4-rings in one network. Ring A (channels 0..3) carries
+// the classic 4-message ring deadlock — each message enters at node i and
+// needs channels i and i+1 mod 4 — while ring B (channels 4..7) carries a
+// single long message whose route never touches ring A. Once ring A's
+// cycle closes, channels 0..3 are dead forever, yet ring B's traffic still
+// flows: a local deadlock whose minimal blocked subnetwork is exactly
+// {c0, c1, c2, c3}.
+func LocalRings() sim.Scenario {
+	net := topology.New("localrings")
+	net.AddNodes(8)
+	var chans [8]topology.ChannelID
+	for r := 0; r < 2; r++ {
+		base := topology.NodeID(4 * r)
+		for i := 0; i < 4; i++ {
+			chans[4*r+i] = net.AddChannel(base+topology.NodeID(i), base+topology.NodeID((i+1)%4), 0, "")
+		}
+	}
+	sc := sim.Scenario{Name: "localrings", Net: net}
+	for i := 0; i < 4; i++ {
+		sc.Msgs = append(sc.Msgs, sim.MessageSpec{
+			Src: topology.NodeID(i), Dst: topology.NodeID((i + 2) % 4),
+			Length: 2,
+			Path:   []topology.ChannelID{chans[i], chans[(i+1)%4]},
+			Label:  "A",
+		})
+	}
+	sc.Msgs = append(sc.Msgs, sim.MessageSpec{
+		Src: 4, Dst: 7,
+		Length: 3,
+		Path:   []topology.ChannelID{chans[4], chans[5], chans[6]},
+		Label:  "B",
+	})
+	return sc
+}
+
+// StaleSelection builds the canonical livelock scenario. Four nodes; two
+// parallel channels lead from n1 to the adaptive message's destination n2:
+//
+//	c0: n0 -> n1   (m0's entry)
+//	c1: n1 -> n2   (route option A)
+//	c2: n1 -> n2   (route option B)
+//	c3: n2 -> n0   (m1's return arc)
+//	c4: n1 -> n3   (m1's exit)
+//
+// m0 is adaptive: from n1 its selection function offers both c1 and c2.
+// m1 is oblivious with path [c2, c3, c0, c4]. Under plain search the
+// scenario is deadlock-free — c1 is wanted by nobody else, so m0 always
+// has a free candidate. But a selection function that persistently offers
+// the busy c2 while m1 owns it — the liveness engine's stale-selection
+// adversary — freezes the whole network: m0 stalls on its stale choice at
+// no budget cost, and m1 stays blocked on c0, which m0 holds. The
+// resulting lasso starves both messages even though neither is deadlocked
+// in the Definition 6 sense (m0's candidate set is never fully occupied).
+func StaleSelection() sim.Scenario {
+	net := topology.New("staleselection")
+	n0 := net.AddNode("n0")
+	n1 := net.AddNode("n1")
+	n2 := net.AddNode("n2")
+	n3 := net.AddNode("n3")
+	c0 := net.AddChannel(n0, n1, 0, "c0")
+	c1 := net.AddChannel(n1, n2, 0, "c1")
+	c2 := net.AddChannel(n1, n2, 0, "c2")
+	c3 := net.AddChannel(n2, n0, 0, "c3")
+	c4 := net.AddChannel(n1, n3, 0, "c4")
+	route := func(at topology.NodeID, in topology.ChannelID, dst topology.NodeID) []topology.ChannelID {
+		switch at {
+		case n0:
+			return []topology.ChannelID{c0}
+		case n1:
+			return []topology.ChannelID{c1, c2}
+		}
+		return nil
+	}
+	return sim.Scenario{
+		Name: "staleselection",
+		Net:  net,
+		Msgs: []sim.MessageSpec{
+			{Src: n0, Dst: n2, Length: 2, Route: route, Label: "m0-adaptive"},
+			{Src: n1, Dst: n3, Length: 3, Path: []topology.ChannelID{c2, c3, c0, c4}, Label: "m1-oblivious"},
+		},
+	}
+}

@@ -35,3 +35,43 @@ func (s *Sim) Delivering(id int) bool {
 	n := len(m.queued)
 	return n > 0 && m.queued[n-1] > 0
 }
+
+// Progress returns a monotone per-message progress counter derived purely
+// from encoded state: it strictly increases whenever message id advances
+// toward delivery — a flit injected, a flit moved one buffer forward, a
+// flit consumed, or (adaptively) the materialized route extended — and is
+// unchanged otherwise. Two states with equal encodings have equal
+// Progress, so the liveness search can assert non-progress across a lasso
+// loop by comparing this one integer, and the fault watchdog can detect
+// stalls by watching it plateau.
+//
+// Monotonicity: a flit at queue position i carries weight i+1, injection
+// adds the injected count plus the new flit's weight, a forward hop
+// trades weight i+1 for i+2, and consuming the flit at the last position
+// trades weight len(queued) for the consumed credit len(queued)+1 — every
+// event nets at least +1 and no ordinary transition decreases any term.
+// Recovery resets (ResetMessage) are the deliberate exception: they
+// rewind the worm and the counter, which is exactly the non-monotonicity
+// the watchdog's livelock classification keys on.
+func (s *Sim) Progress(id int) int {
+	m := s.msgs[id]
+	p := m.injected + (len(m.queued)+1)*m.consumed + len(m.path)
+	for i, q := range m.queued {
+		p += (i + 1) * q
+	}
+	if m.headerConsumed {
+		p++
+	}
+	return p
+}
+
+// Candidates returns every channel message id's header wants this cycle,
+// regardless of whether the channel is free: the full adaptive candidate
+// set at the current head, or the single next path channel of an
+// oblivious message. Held, frozen, delivering and terminal messages want
+// nothing. The liveness engine's extended adversary uses the difference
+// between this set and AcquirableCandidates to model stale selections —
+// an adaptive router persistently offering a busy output.
+func (s *Sim) Candidates(id int) []topology.ChannelID {
+	return append([]topology.ChannelID(nil), s.wantedChannels(s.msgs[id])...)
+}

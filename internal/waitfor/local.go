@@ -1,0 +1,231 @@
+package waitfor
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Local deadlock detection, after Stramaglia, Keiren & Zantema: a local
+// deadlock is a permanently blocked subnetwork inside a network that as a
+// whole stays live. The blocked core is a Definition 6 cycle whose members
+// can never release what the next member waits for; the channels that
+// cycle pins down are dead forever, while traffic routed away from them
+// still flows.
+
+// SCCs returns the nontrivial strongly connected components of the
+// wait-for graph, computed with Tarjan's algorithm. The graph restricted
+// to blocked messages is functional (one out-edge each), so every
+// nontrivial component is a simple cycle; a message never waits on a
+// channel it owns itself, so there are no self-loops and singleton
+// components are trivial. Members are returned ascending and components
+// are ordered by their smallest member, making the enumeration
+// deterministic.
+func SCCs(g *Graph) [][]int {
+	ids := make([]int, 0, len(g.Edges))
+	for _, e := range g.Edges {
+		ids = append(ids, e.From)
+	}
+	sort.Ints(ids)
+
+	index := make(map[int]int, len(ids))
+	low := make(map[int]int, len(ids))
+	onStack := make(map[int]bool, len(ids))
+	var stack []int
+	next := 0
+	var comps [][]int
+
+	var strong func(v int)
+	strong = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		// The single successor, when the target is itself a blocked node;
+		// an unblocked owner is a sink and cannot be on any cycle.
+		if e, ok := g.WaitsOn(v); ok {
+			if _, blocked := g.next[e.To]; blocked {
+				w := e.To
+				if _, seen := index[w]; !seen {
+					strong(w)
+					if low[w] < low[v] {
+						low[v] = low[w]
+					}
+				} else if onStack[w] {
+					if index[w] < low[v] {
+						low[v] = index[w]
+					}
+				}
+			}
+		}
+		if low[v] == index[v] {
+			var comp []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				sort.Ints(comp)
+				comps = append(comps, comp)
+			}
+		}
+	}
+	for _, id := range ids {
+		if _, seen := index[id]; !seen {
+			strong(id)
+		}
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// LocalDeadlock is a local-deadlock witness: a Definition 6 cycle that is
+// provably permanent — every member is an in-network oblivious message, so
+// no member can ever release the channel its predecessor waits for —
+// together with the subnetwork it kills and the traffic that survives.
+type LocalDeadlock struct {
+	Deadlock
+	// Blocked is the minimal blocked subnetwork: every channel owned by a
+	// cycle member, ascending. No flit will ever traverse one of these
+	// channels again.
+	Blocked []topology.ChannelID
+	// Live lists the non-terminal messages outside the cycle whose
+	// remaining route avoids every Blocked channel — traffic the network
+	// can still deliver. Adaptive outsiders are counted optimistically
+	// (they may route around the dead set). A non-empty Live set is what
+	// makes the deadlock local: the network as a whole stays live.
+	Live []int
+}
+
+// String renders the cycle plus the channels it permanently blocks.
+func (ld *LocalDeadlock) String() string {
+	if ld == nil {
+		return "<no local deadlock>"
+	}
+	return fmt.Sprintf("%s blocking channels %v (live: %v)", ld.Deadlock.String(), ld.Blocked, ld.Live)
+}
+
+// FindLocal looks for a permanently blocked Definition 6 cycle in the
+// simulator's current state and, when one exists, reports the blocked
+// subnetwork and the surviving traffic. Unlike Find it returns only
+// *certain* cycles — every member in-network and oblivious. A cycle
+// through an adaptive member may dissolve when that member routes around
+// the contention, and a fault-induced stall never forms an edge at all:
+// WaitsFor reports ownership blocking only, so a down-but-free channel
+// breaks the chain and transient outages cannot masquerade as local
+// deadlocks.
+func FindLocal(s *sim.Sim) *LocalDeadlock {
+	g := Build(s)
+	for _, comp := range SCCs(g) {
+		if ld := makeLocal(s, g, comp); ld != nil {
+			return ld
+		}
+	}
+	return nil
+}
+
+// makeLocal assembles and certainty-checks one SCC: members are walked in
+// cycle order from the smallest, and the component qualifies only when
+// every member holds a channel and routes obliviously.
+func makeLocal(s *sim.Sim, g *Graph, comp []int) *LocalDeadlock {
+	member := make(map[int]bool, len(comp))
+	for _, id := range comp {
+		if !s.Message(id).InNetwork || s.IsAdaptive(id) {
+			return nil
+		}
+		member[id] = true
+	}
+	ld := &LocalDeadlock{}
+	for id := comp[0]; len(ld.Cycle) < len(comp); {
+		e, ok := g.WaitsOn(id)
+		if !ok || !member[e.To] {
+			return nil // not a closed cycle over the component
+		}
+		ld.Cycle = append(ld.Cycle, id)
+		ld.Channels = append(ld.Channels, e.Channel)
+		id = e.To
+	}
+	blocked := make(map[topology.ChannelID]bool)
+	for c := 0; c < s.Network().NumChannels(); c++ {
+		ch := topology.ChannelID(c)
+		if member[s.Owner(ch)] {
+			blocked[ch] = true
+			ld.Blocked = append(ld.Blocked, ch)
+		}
+	}
+	for id := 0; id < s.NumMessages(); id++ {
+		if member[id] {
+			continue
+		}
+		mv := s.Message(id)
+		if mv.Delivered || mv.Dropped {
+			continue
+		}
+		if s.IsAdaptive(id) {
+			ld.Live = append(ld.Live, id)
+			continue
+		}
+		// The oblivious remainder of the route: everything past the head.
+		h := -1
+		for i := len(mv.Queued) - 1; i >= 0; i-- {
+			if mv.Queued[i] > 0 {
+				h = i
+				break
+			}
+		}
+		live := true
+		for _, c := range mv.Path[h+1:] {
+			if blocked[c] {
+				live = false
+				break
+			}
+		}
+		if live {
+			ld.Live = append(ld.Live, id)
+		}
+	}
+	return ld
+}
+
+// VerifyLocal checks a local-deadlock witness against the simulator state:
+// the embedded Definition 6 clauses, the certainty conditions (oblivious
+// in-network members), and that Blocked is exactly the set of channels the
+// cycle owns. It returns an error describing the first violated clause.
+func VerifyLocal(s *sim.Sim, ld *LocalDeadlock) error {
+	if ld == nil {
+		return fmt.Errorf("waitfor: empty local-deadlock configuration")
+	}
+	if err := Verify(s, &ld.Deadlock); err != nil {
+		return err
+	}
+	member := make(map[int]bool, len(ld.Cycle))
+	for _, id := range ld.Cycle {
+		if s.IsAdaptive(id) {
+			return fmt.Errorf("waitfor: member m%d is adaptive; the cycle is not certain", id)
+		}
+		member[id] = true
+	}
+	var owned []topology.ChannelID
+	for c := 0; c < s.Network().NumChannels(); c++ {
+		if member[s.Owner(topology.ChannelID(c))] {
+			owned = append(owned, topology.ChannelID(c))
+		}
+	}
+	if len(owned) != len(ld.Blocked) {
+		return fmt.Errorf("waitfor: blocked set %v does not match channels owned by the cycle %v", ld.Blocked, owned)
+	}
+	for i, c := range owned {
+		if ld.Blocked[i] != c {
+			return fmt.Errorf("waitfor: blocked set %v does not match channels owned by the cycle %v", ld.Blocked, owned)
+		}
+	}
+	return nil
+}
