@@ -12,8 +12,15 @@
 // as a markdown table, and the exit status is 1 iff at least one row
 // regressed, so CI can gate on it directly.
 //
+// Rows named in -pin must additionally measure exactly 0 allocs/op in the
+// NEW artifact, whatever the old side says — the guard that keeps the
+// steady-state simulator rows allocation-free even across baseline
+// regenerations (a zero-alloc baseline row going nonzero already fails
+// without -pin).
+//
 //	benchdiff BENCH_mcheck.json BENCH_ci.json
 //	benchdiff -tolerance 0.5 baseline/ candidate/
+//	benchdiff -pin E7_SimThroughput,EncodeTo BENCH_mcheck.json BENCH_ci.json
 package main
 
 import (
@@ -201,6 +208,7 @@ func renderMarkdown(w *strings.Builder, rows []row) {
 func main() {
 	tol := flag.Float64("tolerance", 0.2, "allowed fractional states/sec drop before a row counts as regressed")
 	allocTol := flag.Float64("alloc-tolerance", 0.05, "allowed fractional allocs/op increase before a row counts as regressed")
+	pin := flag.String("pin", "", "comma-separated rows that must measure exactly 0 allocs/op in NEW")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] OLD NEW  (each a benchjson file or a manifest directory)")
@@ -223,6 +231,26 @@ func main() {
 	os.Stdout.WriteString(sb.String())
 
 	regressed := 0
+	if *pin != "" {
+		for _, name := range strings.Split(*pin, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			p, ok := cur[name]
+			switch {
+			case !ok:
+				fmt.Fprintf(os.Stderr, "benchdiff: pinned row %q missing from %s\n", name, flag.Arg(1))
+				regressed++
+			case !p.HasAllocs:
+				fmt.Fprintf(os.Stderr, "benchdiff: pinned row %q carries no allocation measurement\n", name)
+				regressed++
+			case p.AllocsPerOp != 0:
+				fmt.Fprintf(os.Stderr, "benchdiff: pinned row %q allocates %d allocs/op; must be 0\n", name, p.AllocsPerOp)
+				regressed++
+			}
+		}
+	}
 	for _, r := range rows {
 		if r.regressed {
 			regressed++

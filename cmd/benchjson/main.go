@@ -28,6 +28,7 @@ import (
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/traffic"
 )
 
 type entry struct {
@@ -239,17 +240,26 @@ func main() {
 	// E6: Gen(2) at its minimal deadlocking stall budget.
 	add(searchEntry("E6_Gen2_Stall2", papernets.GenK(2).Scenario,
 		mcheck.SearchOptions{StallBudget: 2, FreezeInTransitOnly: true}, mcheck.VerdictDeadlock))
-	// E7: raw simulator throughput (no search) for baseline context.
+	// E7: raw simulator throughput (no search), measured the way the search
+	// engine and the load sweeps actually run it — a pooled instance
+	// recycled via CopyFrom, so steady-state stepping is what gets timed.
+	// This row must stay at 0 allocs/op: the whole hot path lives on the
+	// simulator's scratch arenas.
 	add(plainEntry("E7_SimThroughput", func(b *testing.B) {
 		g := topology.NewMesh([]int{16, 16}, 1)
 		alg := routing.DimensionOrder(g)
 		src, dst := g.NodeAt([]int{0, 0}), g.NodeAt([]int{15, 15})
-		path := alg.Path(src, dst)
+		proto := sim.New(g.Network, sim.Config{})
+		proto.MustAdd(sim.MessageSpec{Src: src, Dst: dst, Length: 64, Path: alg.Path(src, dst)})
+		s := sim.New(g.Network, sim.Config{})
+		s.CopyFrom(proto) // warm the pooled instance before timing
+		if out := s.Run(10_000); out.Result != sim.ResultDelivered {
+			fail("E7: %v", out.Result)
+		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			s := sim.New(g.Network, sim.Config{})
-			s.MustAdd(sim.MessageSpec{Src: src, Dst: dst, Length: 64, Path: path})
+			s.CopyFrom(proto)
 			if out := s.Run(10_000); out.Result != sim.ResultDelivered {
 				fail("E7: %v", out.Result)
 			}
@@ -272,6 +282,29 @@ func main() {
 		for i := 0; i < b.N; i++ {
 			buf = buf[:0]
 			s.EncodeTo(&buf)
+		}
+	}))
+
+	// Loadtest: one open-loop saturation point (4x4 mesh, DOR, uniform
+	// Bernoulli arrivals below saturation) — the cmd/loadtest unit of work,
+	// priced so sweep-cost regressions show up next to the search rows.
+	loadPoint := func() traffic.Load {
+		g := topology.NewMesh([]int{4, 4}, 1)
+		return traffic.Load{
+			Alg: routing.DimensionOrder(g), Pattern: traffic.Uniform(g.Network.NumNodes()),
+			Arrivals: traffic.Bernoulli(0.10), Length: 8,
+			Warmup: 200, Measure: 500, Drain: 5000, Seed: 1,
+		}
+	}
+	if r, err := loadPoint().Run(); err != nil || r.Deadlocked || r.Delivered == 0 {
+		fail("Loadtest: probe run delivered=%d deadlocked=%v err=%v", r.Delivered, r.Deadlocked, err)
+	}
+	add(plainEntry("Loadtest_Saturation", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := loadPoint().Run(); err != nil {
+				fail("Loadtest: %v", err)
+			}
 		}
 	}))
 

@@ -46,7 +46,7 @@ func main() {
 		dims     = flag.String("dims", "4x4", "dimensions, e.g. 8x8 (grids) or 8 (others)")
 		vcs      = flag.Int("vcs", 1, "virtual channels per link (grids)")
 		alg      = flag.String("alg", "dor", "routing: dor, negfirst, dallyseitz, ecube, bfs, valiant, valiantsplit, hub, fulladaptive, westfirst, duato")
-		pattern  = flag.String("pattern", "uniform", "traffic: uniform, transpose, bitrev, hotspot")
+		pattern  = flag.String("pattern", "uniform", "traffic: "+cli.PatternNames)
 		rate     = flag.Float64("rate", 0.05, "per-node per-cycle injection probability")
 		length   = flag.Int("length", 8, "message length in flits")
 		duration = flag.Int("duration", 200, "injection window in cycles")
@@ -90,7 +90,11 @@ func main() {
 			log.Fatal(berr)
 		}
 		net, grid, name = a.Net, g, a.Name+" (adaptive)"
-		w := traffic.AdaptiveWorkload{Alg: a, Pattern: buildPattern(*pattern, net, grid), Rate: *rate, Length: *length, Duration: *duration, Seed: *seed}
+		pat, perr := cli.BuildPattern(*pattern, net, grid, *seed)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		w := traffic.AdaptiveWorkload{Alg: a, Pattern: pat, Rate: *rate, Length: *length, Duration: *duration, Seed: *seed}
 		msgs, err = w.Messages()
 	} else {
 		a, g, berr := cli.Build(*topo, *alg, *dims, *vcs)
@@ -98,7 +102,11 @@ func main() {
 			log.Fatal(berr)
 		}
 		oblAlg, net, grid, name = a, a.Network(), g, a.Name()
-		w := traffic.Workload{Alg: a, Pattern: buildPattern(*pattern, net, grid), Rate: *rate, Length: *length, Duration: *duration, Seed: *seed}
+		pat, perr := cli.BuildPattern(*pattern, net, grid, *seed)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		w := traffic.Workload{Alg: a, Pattern: pat, Rate: *rate, Length: *length, Duration: *duration, Seed: *seed}
 		msgs, err = w.Messages()
 	}
 	if err != nil {
@@ -225,23 +233,4 @@ func main() {
 		fmt.Printf("undelivered messages: %v\n", out.Undelivered)
 		os.Exit(3)
 	}
-}
-
-// buildPattern resolves a traffic pattern name.
-func buildPattern(pattern string, net *topology.Network, grid *topology.Grid) traffic.Pattern {
-	switch pattern {
-	case "uniform":
-		return traffic.Uniform(net.NumNodes())
-	case "transpose":
-		if grid == nil || len(grid.Dims) != 2 || grid.Dims[0] != grid.Dims[1] {
-			log.Fatal("wormsim: transpose needs a square 2-D mesh/torus")
-		}
-		return traffic.Transpose(grid)
-	case "bitrev":
-		return traffic.BitReversal(net.NumNodes())
-	case "hotspot":
-		return traffic.Hotspot(net.NumNodes(), 0, 0.3)
-	}
-	log.Fatalf("wormsim: unknown pattern %q", pattern)
-	return nil
 }

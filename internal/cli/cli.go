@@ -11,6 +11,7 @@ import (
 	"repro/internal/papernets"
 	"repro/internal/routing"
 	"repro/internal/topology"
+	"repro/internal/traffic"
 )
 
 // ParseDims parses "4x4" or "8" style dimension lists.
@@ -149,6 +150,50 @@ func BuildAdaptive(topo, alg, dims string, vcs int) (adaptive.Algorithm, *topolo
 		return adaptive.DuatoMesh(grid), grid, nil
 	}
 	return adaptive.Algorithm{}, nil, fmt.Errorf("cli: unknown adaptive algorithm %q", alg)
+}
+
+// PatternNames lists the traffic pattern names BuildPattern accepts.
+const PatternNames = "uniform, transpose, bitrev, hotspot, tornado, complement, shuffle, randperm"
+
+// BuildPattern resolves a traffic-pattern name for a network. grid may be
+// nil for non-grid topologies (grid-only patterns then error). permSeed
+// seeds the randperm pattern's fixed permutation.
+func BuildPattern(name string, net *topology.Network, grid *topology.Grid, permSeed int64) (traffic.Pattern, error) {
+	n := net.NumNodes()
+	needSquare := func() error {
+		if grid == nil || len(grid.Dims) != 2 || grid.Dims[0] != grid.Dims[1] {
+			return fmt.Errorf("cli: pattern %q needs a square 2-D mesh/torus", name)
+		}
+		return nil
+	}
+	switch name {
+	case "uniform":
+		return traffic.Uniform(n), nil
+	case "transpose":
+		if err := needSquare(); err != nil {
+			return nil, err
+		}
+		return traffic.Transpose(grid), nil
+	case "bitrev":
+		return traffic.BitReversal(n), nil
+	case "hotspot":
+		return traffic.Hotspot(n, 0, 0.3), nil
+	case "tornado":
+		if grid == nil {
+			return nil, fmt.Errorf("cli: pattern %q needs a mesh/torus", name)
+		}
+		return traffic.Tornado(grid), nil
+	case "complement":
+		if grid == nil {
+			return nil, fmt.Errorf("cli: pattern %q needs a mesh/torus", name)
+		}
+		return traffic.Complement(grid), nil
+	case "shuffle":
+		return traffic.Shuffle(n), nil
+	case "randperm":
+		return traffic.RandomPermutation(n, permSeed), nil
+	}
+	return nil, fmt.Errorf("cli: unknown pattern %q (want %s)", name, PatternNames)
 }
 
 // PaperNet resolves a paper-construction name: figure1, figure2,

@@ -64,7 +64,7 @@ func (s *Sim) CanonicalEncodeTo(perms []Permutation, dst, scratch *[]byte) {
 func (s *Sim) encodePermuted(p *Permutation, dst *[]byte) {
 	b := *dst
 	for j := range s.msgs {
-		m := s.msgs[p.MsgAt[j]]
+		m := &s.msgs[p.MsgAt[j]]
 		b = binary.AppendUvarint(b, uint64(m.injected))
 		b = binary.AppendUvarint(b, uint64(m.consumed))
 		b = binary.AppendUvarint(b, uint64(m.frozen))

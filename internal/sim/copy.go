@@ -20,6 +20,12 @@ func (s *Sim) Reset() {
 	s.lastThawed = false
 	s.waitCh = s.waitCh[:0]
 	s.waitOwner = s.waitOwner[:0]
+	s.active = s.active[:0]
+	s.liveCount = 0
+	s.droppedCount = 0
+	s.flitsConsumed = 0
+	// Scratch arenas and their epoch counters survive Reset untouched:
+	// the counters only ever grow, so stale stamps can never read as set.
 }
 
 // CopyFrom overwrites s with a deep copy of src, reusing s's existing
@@ -51,20 +57,23 @@ func (s *Sim) CopyFrom(src *Sim) {
 	} else {
 		s.msgs = s.msgs[:cap(s.msgs)]
 		for len(s.msgs) < len(src.msgs) {
-			s.msgs = append(s.msgs, nil)
+			s.msgs = append(s.msgs, message{})
 		}
 	}
-	for i, sm := range src.msgs {
-		dm := s.msgs[i]
-		if dm == nil {
-			dm = &message{}
-			s.msgs[i] = dm
-		}
+	for i := range src.msgs {
+		sm := &src.msgs[i]
+		dm := &s.msgs[i]
 		queued, path := dm.queued, dm.path
 		*dm = *sm
 		dm.queued = append(queued[:0], sm.queued...)
 		dm.path = append(path[:0], sm.path...)
 	}
+	s.active = append(s.active[:0], src.active...)
+	s.liveCount = src.liveCount
+	s.droppedCount = src.droppedCount
+	s.flitsConsumed = src.flitsConsumed
+	// s's scratch arenas and epochs are left alone: they are per-instance
+	// working memory, not simulation state.
 }
 
 // SetInjectAt changes the earliest injection cycle of message id. Only
@@ -72,7 +81,7 @@ func (s *Sim) CopyFrom(src *Sim) {
 // retimed; schedule sweeps use this to re-run one pooled simulator over a
 // grid of injection schedules without rebuilding it.
 func (s *Sim) SetInjectAt(id, at int) error {
-	m := s.msgs[id]
+	m := &s.msgs[id]
 	if m.injected > 0 && !m.terminal() {
 		return fmt.Errorf("sim: SetInjectAt(%d): message is in the network", id)
 	}
@@ -86,14 +95,21 @@ func (s *Sim) SetInjectAt(id, at int) error {
 // SetLength changes the flit count of message id. Like SetInjectAt it is
 // only legal before the message begins injecting.
 func (s *Sim) SetLength(id, length int) error {
-	m := s.msgs[id]
+	m := &s.msgs[id]
 	if m.injected > 0 && !m.terminal() {
 		return fmt.Errorf("sim: SetLength(%d): message is in the network", id)
 	}
 	if length < 1 {
 		return fmt.Errorf("sim: SetLength(%d): length %d < 1", id, length)
 	}
+	wasTerminal := m.terminal()
 	m.spec.Length = length
+	// Lengthening a fully delivered message revives it (it resumes
+	// injecting its new tail flits), so it re-enters the live population.
+	if wasTerminal && !m.terminal() {
+		s.liveCount++
+		s.ensureActive(id)
+	}
 	return nil
 }
 

@@ -28,7 +28,8 @@ import "encoding/binary"
 // only comparable between Sims instantiated from the same scenario.
 func (s *Sim) EncodeTo(dst *[]byte) {
 	b := *dst
-	for _, m := range s.msgs {
+	for i := range s.msgs {
+		m := &s.msgs[i]
 		b = binary.AppendUvarint(b, uint64(m.injected))
 		b = binary.AppendUvarint(b, uint64(m.consumed))
 		b = binary.AppendUvarint(b, uint64(m.frozen))

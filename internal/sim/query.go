@@ -28,7 +28,7 @@ func (s *Sim) PathChannel(id, i int) topology.ChannelID { return s.msgs[id].path
 // materialized route. The Section 6 clock-skew adversary may not stall
 // such messages (destination processors consume promptly).
 func (s *Sim) Delivering(id int) bool {
-	m := s.msgs[id]
+	m := &s.msgs[id]
 	if m.headerConsumed {
 		return true
 	}
@@ -54,7 +54,7 @@ func (s *Sim) Delivering(id int) bool {
 // rewind the worm and the counter, which is exactly the non-monotonicity
 // the watchdog's livelock classification keys on.
 func (s *Sim) Progress(id int) int {
-	m := s.msgs[id]
+	m := &s.msgs[id]
 	p := m.injected + (len(m.queued)+1)*m.consumed + len(m.path)
 	for i, q := range m.queued {
 		p += (i + 1) * q
@@ -73,5 +73,34 @@ func (s *Sim) Progress(id int) int {
 // between this set and AcquirableCandidates to model stale selections —
 // an adaptive router persistently offering a busy output.
 func (s *Sim) Candidates(id int) []topology.ChannelID {
-	return append([]topology.ChannelID(nil), s.wantedChannels(s.msgs[id])...)
+	return append([]topology.ChannelID(nil), s.wantedChannels(&s.msgs[id])...)
+}
+
+// FullyInjected reports whether every flit of message id has left the
+// source: the injection port is free for the next message. The traffic
+// engine uses this to serialize each source's open-loop backlog the way a
+// real injection queue would.
+func (s *Sim) FullyInjected(id int) bool {
+	m := &s.msgs[id]
+	return m.injected >= m.spec.Length
+}
+
+// InjectedAt returns the cycle message id's header entered the network,
+// or -1 if it has not injected yet.
+func (s *Sim) InjectedAt(id int) int {
+	m := &s.msgs[id]
+	if m.injected == 0 {
+		return -1
+	}
+	return m.injectedAt
+}
+
+// DeliveredAt returns the cycle message id's tail flit was consumed, or
+// -1 if it has not been fully delivered.
+func (s *Sim) DeliveredAt(id int) int {
+	m := &s.msgs[id]
+	if !m.delivered() {
+		return -1
+	}
+	return m.deliveredAt
 }

@@ -41,7 +41,7 @@ package sim
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 
 	"repro/internal/obsv"
@@ -151,8 +151,8 @@ type Sim struct {
 	net   *topology.Network
 	cfg   Config
 	now   int
-	msgs  []*message
-	owner []int // channel -> message id, -1 when free
+	msgs  []message // indexed by message ID; stable addresses only between Adds
+	owner []int     // channel -> message id, -1 when free
 	// downUntil[c] is the cycle at which channel c becomes usable again:
 	// the channel is down while downUntil[c] > now (DownForever = never
 	// repaired). A down channel transfers no flits and accepts no header.
@@ -160,6 +160,25 @@ type Sim struct {
 	// waitingSince[msg] is the cycle the message's header began waiting
 	// for its next channel, -1 when not waiting; drives FIFO arbitration.
 	waitingSince []int
+
+	// active is the working set the per-cycle machinery iterates: every
+	// non-terminal message, plus terminal messages whose freeze counter is
+	// still counting down (frozen state is encoded, so the countdown must
+	// keep running exactly as it did when every cycle visited every
+	// message). Sorted ascending; step compacts out finished entries. It
+	// may transiently retain terminal entries between steps (e.g. after
+	// DropMessage) — every consumer re-checks message state, so stale
+	// entries are harmless and vanish on the next compaction.
+	active []int32
+	// liveCount counts non-terminal messages and droppedCount dropped
+	// ones, so AllTerminal/AllDelivered are O(1) on the Run hot loop.
+	liveCount    int
+	droppedCount int
+	// flitsConsumed counts every flit consumed at a destination since New
+	// or Reset. It is monotone — recovery resets discard a message's
+	// consumed flits but do not rewind this counter — so the traffic
+	// engine can read window deltas for accepted throughput.
+	flitsConsumed int64
 
 	// perCycleMoved reports whether the last Step moved any flit.
 	lastMoved bool
@@ -170,6 +189,51 @@ type Sim struct {
 	// deadlocked one cycle early.
 	lastThawed bool
 
+	// --- per-step scratch arenas -------------------------------------
+	// Transient working memory for one Step (or one query), owned by the
+	// Sim so steady-state stepping allocates nothing. Arenas are never
+	// copied by Clone/CopyFrom and never shrunk; epoch-stamp arrays treat
+	// "stamp == current epoch counter" as set, so clearing one is a
+	// single counter increment. The counters are bumped before every use
+	// and never reset (not even by Reset), so stale stamps — including
+	// the zero value of freshly grown slots — always read as unset.
+
+	// releaseEpoch/freeingStamp mark the channels predicted to release
+	// this cycle (same-cycle handoff); refreshed by each predictReleases
+	// pass.
+	releaseEpoch uint64
+	freeingStamp []uint64
+	// grantEpoch/grantStamp/grantCh record phase-1 arbitration grants,
+	// message id -> channel won; refreshed once per step.
+	grantEpoch uint64
+	grantStamp []uint64
+	grantCh    []topology.ChannelID
+	// stepReqs holds the step's acquisition requests as packed
+	// (channel<<32 | message) pairs; sorting them yields channels in
+	// ascending order with each channel's contenders ascending, replacing
+	// the per-cycle request map and both its sorts. queryReqs is the same
+	// arena for the Contentions query, kept separate so an arbiter that
+	// inspects contentions mid-step cannot clobber the grant loop's
+	// iteration.
+	stepReqs  []uint64
+	queryReqs []uint64
+	// wantBuf backs adaptiveCandidates; valid only until the next
+	// wantedChannels/adaptiveCandidates call.
+	wantBuf []topology.ChannelID
+	// departsBuf backs the predictReleases front-to-back worm walk.
+	departsBuf []bool
+	// releases collects strict-mode end-of-cycle channel releases.
+	releases []topology.ChannelID
+	// deferredBuf collects the messages whose movement waits for a
+	// same-cycle handoff release.
+	deferredBuf []int32
+	// contBuf is the grant loop's per-channel contender list.
+	contBuf []int
+	// pathSeenEpoch/pathSeenStamp back the duplicate-channel check in
+	// Add/SetMessagePath, replacing a per-call map.
+	pathSeenEpoch uint64
+	pathSeenStamp []uint64
+
 	// tracer receives trace events while attached; nil (the default) is
 	// the disabled state, guarded by one branch per emission site. Clone
 	// and CopyFrom never propagate it: search clones stay silent.
@@ -179,6 +243,55 @@ type Sim struct {
 	// transitions. Maintained only while a tracer is attached.
 	waitCh    []topology.ChannelID
 	waitOwner []int
+}
+
+// freeing reports whether channel c was predicted to release this cycle
+// by the most recent predictReleases pass. Always false in strict mode.
+func (s *Sim) freeing(c topology.ChannelID) bool {
+	return s.cfg.SameCycleHandoff && s.freeingStamp[c] == s.releaseEpoch
+}
+
+// granted returns the channel message id won in this step's arbitration
+// phase. Only meaningful between the grant loop and the end of the same
+// step.
+func (s *Sim) granted(id int) (topology.ChannelID, bool) {
+	if s.grantStamp[id] == s.grantEpoch {
+		return s.grantCh[id], true
+	}
+	return topology.None, false
+}
+
+// ensureChannelStamps grows the channel-indexed stamp arenas to cover the
+// network. New slots are zero, which every epoch counter has already
+// passed (counters are bumped before first use), so they read as unset.
+func (s *Sim) ensureChannelStamps() {
+	n := s.net.NumChannels()
+	for len(s.freeingStamp) < n {
+		s.freeingStamp = append(s.freeingStamp, 0)
+	}
+	for len(s.pathSeenStamp) < n {
+		s.pathSeenStamp = append(s.pathSeenStamp, 0)
+	}
+}
+
+// ensureGrantArena grows the message-indexed grant arena.
+func (s *Sim) ensureGrantArena() {
+	for len(s.grantStamp) < len(s.msgs) {
+		s.grantStamp = append(s.grantStamp, 0)
+		s.grantCh = append(s.grantCh, topology.None)
+	}
+}
+
+// ensureActive inserts id into the sorted active list if absent. Needed
+// only when a terminal message re-enters the working set (a freeze placed
+// on a delivered message, or a retimed/relengthened pooled message coming
+// back to life).
+func (s *Sim) ensureActive(id int) {
+	i, found := slices.BinarySearch(s.active, int32(id))
+	if found {
+		return
+	}
+	s.active = slices.Insert(s.active, i, int32(id))
 }
 
 // New returns an empty simulator for net.
@@ -216,30 +329,55 @@ func (s *Sim) Add(spec MessageSpec) (int, error) {
 		if !s.net.IsPath(spec.Src, spec.Dst, spec.Path) {
 			return -1, fmt.Errorf("sim: message path %v is not a contiguous %d -> %d path", spec.Path, spec.Src, spec.Dst)
 		}
-		seen := make(map[topology.ChannelID]bool, len(spec.Path))
-		for _, c := range spec.Path {
-			if seen[c] {
-				return -1, fmt.Errorf("sim: message path %v uses channel %d twice; a message may hold a channel only once", spec.Path, c)
-			}
-			seen[c] = true
+		if dup, ok := s.pathDuplicate(spec.Path); ok {
+			return -1, fmt.Errorf("sim: message path %v uses channel %d twice; a message may hold a channel only once", spec.Path, dup)
 		}
 	}
 	if spec.InjectAt < 0 {
 		return -1, fmt.Errorf("sim: negative injection time %d", spec.InjectAt)
 	}
 	id := len(s.msgs)
-	m := &message{
+	// Reuse the queued/path backing arrays of a slot parked beyond the
+	// length by an earlier Reset, so Add-heavy workloads on a recycled
+	// simulator stop allocating per message.
+	if cap(s.msgs) > id {
+		s.msgs = s.msgs[:id+1]
+	} else {
+		s.msgs = append(s.msgs, message{})
+	}
+	m := &s.msgs[id]
+	queued, path := m.queued[:0], m.path[:0]
+	*m = message{
 		spec:        spec,
 		id:          id,
-		path:        append([]topology.ChannelID(nil), spec.Path...),
-		queued:      make([]int, len(spec.Path)),
 		mask:        topology.None,
 		injectedAt:  -1,
 		deliveredAt: -1,
 	}
-	s.msgs = append(s.msgs, m)
+	m.path = append(path, spec.Path...)
+	for range spec.Path {
+		queued = append(queued, 0)
+	}
+	m.queued = queued
 	s.waitingSince = append(s.waitingSince, -1)
+	s.active = append(s.active, int32(id))
+	s.liveCount++
 	return id, nil
+}
+
+// pathDuplicate reports the first channel a path visits twice, using the
+// epoch-stamped scratch arena instead of a per-call map. Paths have
+// already passed IsPath, so every ID indexes the stamp array.
+func (s *Sim) pathDuplicate(path []topology.ChannelID) (topology.ChannelID, bool) {
+	s.ensureChannelStamps()
+	s.pathSeenEpoch++
+	for _, c := range path {
+		if s.pathSeenStamp[c] == s.pathSeenEpoch {
+			return c, true
+		}
+		s.pathSeenStamp[c] = s.pathSeenEpoch
+	}
+	return topology.None, false
 }
 
 // MustAdd is Add that panics on error.
@@ -276,7 +414,16 @@ func (s *Sim) Owner(c topology.ChannelID) int { return s.owner[c] }
 // SetFrozen freezes message id for the next n cycles: it will not move or
 // contend for channels even when able (the Section 6 fault model). Calling
 // with n = 0 unfreezes.
-func (s *Sim) SetFrozen(id, n int) { s.msgs[id].frozen = n }
+func (s *Sim) SetFrozen(id, n int) {
+	m := &s.msgs[id]
+	m.frozen = n
+	if n > 0 && m.terminal() {
+		// A terminal message may already be compacted out of the active
+		// list; the freeze countdown is encoded state, so it must rejoin
+		// the working set until the counter drains.
+		s.ensureActive(id)
+	}
+}
 
 // Frozen returns the remaining frozen cycles of message id.
 func (s *Sim) Frozen(id int) int { return s.msgs[id].frozen }
@@ -324,12 +471,14 @@ func (s *Sim) down(c topology.ChannelID) bool { return s.downUntil[c] > s.now }
 // marked dropped — a terminal state Run counts separately from delivery.
 // Dropping a delivered message is a no-op.
 func (s *Sim) DropMessage(id int) {
-	m := s.msgs[id]
+	m := &s.msgs[id]
 	if m.delivered() || m.dropped {
 		return
 	}
 	s.clearFromNetwork(m)
 	m.dropped = true
+	s.liveCount--
+	s.droppedCount++
 	s.waitingSince[id] = -1
 }
 
@@ -340,7 +489,7 @@ func (s *Sim) DropMessage(id int) {
 // materialized route and re-route from scratch. Resetting a delivered or
 // dropped message is a no-op.
 func (s *Sim) ResetMessage(id, reinjectAt int) {
-	m := s.msgs[id]
+	m := &s.msgs[id]
 	if m.terminal() {
 		return
 	}
@@ -357,7 +506,7 @@ func (s *Sim) ResetMessage(id, reinjectAt int) {
 // the network (never injected, or just reset). The recovery layer uses it
 // to re-route a message around failed channels.
 func (s *Sim) SetMessagePath(id int, path []topology.ChannelID) error {
-	m := s.msgs[id]
+	m := &s.msgs[id]
 	if m.adaptive() {
 		return fmt.Errorf("sim: SetMessagePath(%d): message routes adaptively", id)
 	}
@@ -371,16 +520,18 @@ func (s *Sim) SetMessagePath(id int, path []topology.ChannelID) error {
 		return fmt.Errorf("sim: SetMessagePath(%d): %v is not a contiguous %d -> %d path",
 			id, path, m.spec.Src, m.spec.Dst)
 	}
-	seen := make(map[topology.ChannelID]bool, len(path))
-	for _, c := range path {
-		if seen[c] {
-			return fmt.Errorf("sim: SetMessagePath(%d): path uses channel %d twice", id, c)
-		}
-		seen[c] = true
+	if dup, ok := s.pathDuplicate(path); ok {
+		return fmt.Errorf("sim: SetMessagePath(%d): path uses channel %d twice", id, dup)
 	}
+	// spec.Path may be shared with clones of this sim (Clone copies the
+	// spec by value), so it gets a fresh array; the materialized path and
+	// queue are owned per sim and reuse their backing.
 	m.spec.Path = append([]topology.ChannelID(nil), path...)
-	m.path = append([]topology.ChannelID(nil), path...)
-	m.queued = make([]int, len(path))
+	m.path = append(m.path[:0], path...)
+	m.queued = m.queued[:0]
+	for range path {
+		m.queued = append(m.queued, 0)
+	}
 	return nil
 }
 
@@ -450,10 +601,10 @@ type Contention struct {
 // Search code enumerates adaptive selection nondeterminism over this set
 // via SetMask.
 func (s *Sim) AcquirableCandidates(id int) []topology.ChannelID {
-	freeing := s.predictReleases()
+	s.predictReleases()
 	var out []topology.ChannelID
-	for _, c := range s.wantedChannels(s.msgs[id]) {
-		if s.owner[c] == -1 || freeing[c] {
+	for _, c := range s.wantedChannels(&s.msgs[id]) {
+		if s.owner[c] == -1 || s.freeing(c) {
 			out = append(out, c)
 		}
 	}
@@ -469,32 +620,47 @@ func (s *Sim) IsAdaptive(id int) bool { return s.msgs[id].adaptive() }
 // simultaneously. Channels requested by a single header are not included
 // (no choice).
 func (s *Sim) Contentions() []Contention {
-	reqs := s.acquisitionRequests(s.predictReleases())
+	s.predictReleases()
+	reqs := s.collectRequests(s.queryReqs)
+	s.queryReqs = reqs[:0]
 	var out []Contention
-	for c, ids := range reqs {
-		if len(ids) > 1 {
-			sort.Ints(ids)
+	for i := 0; i < len(reqs); {
+		c := topology.ChannelID(reqs[i] >> 32)
+		j := i
+		for j < len(reqs) && topology.ChannelID(reqs[j]>>32) == c {
+			j++
+		}
+		if j-i > 1 {
+			ids := make([]int, 0, j-i)
+			for k := i; k < j; k++ {
+				ids = append(ids, int(uint32(reqs[k])))
+			}
 			out = append(out, Contention{Channel: c, Contenders: ids})
 		}
+		i = j
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Channel < out[j].Channel })
 	return out
 }
 
-// acquisitionRequests maps each acquirable channel to the messages whose
-// header wants to acquire it this cycle. A channel is acquirable when it is
-// free, or when freeing marks it as releasing this cycle (same-cycle
-// handoff). Adaptive messages may request several channels at once; grant
-// resolution ensures each message wins at most one.
-func (s *Sim) acquisitionRequests(freeing map[topology.ChannelID]bool) map[topology.ChannelID][]int {
-	reqs := make(map[topology.ChannelID][]int)
-	for _, m := range s.msgs {
+// collectRequests appends this cycle's acquisition requests to buf as
+// packed (channel<<32 | message) pairs and sorts them: channels come out
+// in ascending ID order, each with its contenders ascending — the exact
+// order the old per-cycle request map produced after its two sorts. A
+// channel is requestable when it is free, or when the most recent
+// predictReleases pass marked it releasing (same-cycle handoff). Adaptive
+// messages may request several channels at once; grant resolution ensures
+// each message wins at most one.
+func (s *Sim) collectRequests(buf []uint64) []uint64 {
+	reqs := buf[:0]
+	for _, id := range s.active {
+		m := &s.msgs[id]
 		for _, c := range s.wantedChannels(m) {
-			if s.owner[c] == -1 || freeing[c] {
-				reqs[c] = append(reqs[c], m.id)
+			if s.owner[c] == -1 || s.freeing(c) {
+				reqs = append(reqs, uint64(c)<<32|uint64(uint32(m.id)))
 			}
 		}
 	}
+	slices.Sort(reqs)
 	return reqs
 }
 
@@ -508,18 +674,22 @@ func (s *Sim) arrived(m *message) bool {
 	return n > 0 && s.net.Channel(m.path[n-1]).Dst == m.spec.Dst
 }
 
-// predictReleases returns the channels whose owner's tail will depart this
-// cycle. The owner's own header acquisition is predicted optimistically
-// (it moves whenever its next channel is free at the start of the cycle);
-// if the owner then loses that arbitration the release does not happen,
-// and the acquisition guard in moveMessage makes the granted waiter simply
-// stall one more cycle. It returns nil in strict-handoff mode.
-func (s *Sim) predictReleases() map[topology.ChannelID]bool {
+// predictReleases stamps the channels whose owner's tail will depart this
+// cycle into the freeingStamp arena under a fresh releaseEpoch (query the
+// result with freeing). The owner's own header acquisition is predicted
+// optimistically (it moves whenever its next channel is free at the start
+// of the cycle); if the owner then loses that arbitration the release does
+// not happen, and the acquisition guard in moveMessage makes the granted
+// waiter simply stall one more cycle. In strict-handoff mode it only
+// advances the epoch, leaving every channel unmarked.
+func (s *Sim) predictReleases() {
+	s.releaseEpoch++
 	if !s.cfg.SameCycleHandoff {
-		return nil
+		return
 	}
-	freeing := make(map[topology.ChannelID]bool)
-	for _, m := range s.msgs {
+	s.ensureChannelStamps()
+	for _, id := range s.active {
+		m := &s.msgs[id]
 		if m.terminal() || m.frozen > 0 || m.injected < m.spec.Length {
 			continue
 		}
@@ -537,7 +707,16 @@ func (s *Sim) predictReleases() map[topology.ChannelID]bool {
 		// each occupied channel this cycle (mirrors the movement pass).
 		h := m.headIdx()
 		last := len(m.path) - 1
-		departs := make([]bool, h+1)
+		departs := s.departsBuf
+		if cap(departs) < h+1 {
+			departs = make([]bool, h+1)
+			s.departsBuf = departs
+		} else {
+			departs = departs[:h+1]
+		}
+		for i := range departs {
+			departs[i] = false
+		}
 		for i := h; i >= low; i-- {
 			if m.queued[i] == 0 {
 				continue
@@ -577,10 +756,9 @@ func (s *Sim) predictReleases() map[topology.ChannelID]bool {
 			departs[i] = free > 0
 		}
 		if departs[low] {
-			freeing[m.path[low]] = true
+			s.freeingStamp[m.path[low]] = s.releaseEpoch
 		}
 	}
-	return freeing
 }
 
 // wantedChannels returns the channels the message's header may acquire
@@ -639,10 +817,12 @@ func (s *Sim) wantedChannels(m *message) []topology.ChannelID {
 // adaptiveCandidates filters the route function's candidates: they must
 // leave the current node, must not revisit a channel the message already
 // used (a message may hold a channel only once), and must match the
-// message's selection mask when one is set.
+// message's selection mask when one is set. The result is backed by the
+// sim-owned wantBuf scratch slice: it is valid only until the next
+// wantedChannels/adaptiveCandidates call and must not be retained.
 func (s *Sim) adaptiveCandidates(m *message, at topology.NodeID, in topology.ChannelID) []topology.ChannelID {
 	raw := m.spec.Route(at, in, m.spec.Dst)
-	var out []topology.ChannelID
+	out := s.wantBuf[:0]
 	for _, c := range raw {
 		if c < 0 || int(c) >= s.net.NumChannels() || s.net.Channel(c).Src != at {
 			continue
@@ -664,6 +844,7 @@ func (s *Sim) adaptiveCandidates(m *message, at topology.NodeID, in topology.Cha
 			out = append(out, c)
 		}
 	}
+	s.wantBuf = out[:0]
 	return out
 }
 
@@ -688,26 +869,29 @@ func (s *Sim) StepWithPicks(picks map[topology.ChannelID]int) StepResult {
 func (s *Sim) step(picks map[topology.ChannelID]int) StepResult {
 	// Phase 1: arbitration. In strict mode the snapshot is start-of-cycle
 	// ownership; with same-cycle handoff, channels releasing this cycle
-	// are acquirable too.
-	freeing := s.predictReleases()
-	reqs := s.acquisitionRequests(freeing)
+	// are acquirable too. All working memory comes from the Sim's scratch
+	// arenas: a steady-state step allocates nothing.
+	s.ensureGrantArena()
+	s.grantEpoch++
+	s.predictReleases()
+	reqs := s.collectRequests(s.stepReqs)
+	s.stepReqs = reqs[:0]
 	// Resolve grants channel by channel in ascending ID order so that an
 	// adaptive message contending on several channels wins at most one
 	// (deterministically the lowest); contenders that already won an
-	// earlier channel drop out of later contests.
-	channels := make([]topology.ChannelID, 0, len(reqs))
-	for c := range reqs {
-		channels = append(channels, c)
-	}
-	sort.Slice(channels, func(i, j int) bool { return channels[i] < channels[j] })
-	granted := make(map[int]topology.ChannelID) // message -> channel won
-	for _, c := range channels {
-		var ids []int
-		for _, id := range reqs[c] {
-			if _, won := granted[id]; !won {
+	// earlier channel drop out of later contests. The sorted request
+	// pairs deliver each channel's contenders already ascending, which is
+	// the order the Arbiter contract requires.
+	for i := 0; i < len(reqs); {
+		c := topology.ChannelID(reqs[i] >> 32)
+		ids := s.contBuf[:0]
+		for ; i < len(reqs) && topology.ChannelID(reqs[i]>>32) == c; i++ {
+			id := int(uint32(reqs[i]))
+			if s.grantStamp[id] != s.grantEpoch {
 				ids = append(ids, id)
 			}
 		}
+		s.contBuf = ids
 		if len(ids) == 0 {
 			continue
 		}
@@ -726,17 +910,21 @@ func (s *Sim) step(picks map[topology.ChannelID]int) StepResult {
 		} else if len(ids) == 1 {
 			winner = ids[0]
 		} else {
-			sort.Ints(ids)
 			winner = s.cfg.Arbiter.Pick(s, c, ids)
 		}
-		granted[winner] = c
+		s.grantStamp[winner] = s.grantEpoch
+		s.grantCh[winner] = c
 	}
 
 	// Track waiting-since for FIFO arbitration: a message that wants a
 	// channel (free or not) and does not get one this cycle is waiting.
-	for _, m := range s.msgs {
+	// Terminal messages outside the active list keep waitingSince == -1:
+	// it was reset on the cycle their header reached the destination
+	// (wantedChannels was already empty) and nothing sets it afterwards.
+	for _, id := range s.active {
+		m := &s.msgs[id]
 		if wants := s.wantedChannels(m); len(wants) > 0 {
-			if _, won := granted[m.id]; !won {
+			if _, won := s.granted(m.id); !won {
 				if s.waitingSince[m.id] < 0 {
 					s.waitingSince[m.id] = s.now
 				}
@@ -754,41 +942,28 @@ func (s *Sim) step(picks map[topology.ChannelID]int) StepResult {
 	// releasing channel move after everyone else so the release has
 	// happened by the time they acquire.
 	moved := false
-	var releases []topology.ChannelID
-	release := func(c topology.ChannelID) {
-		if s.tracer != nil {
-			// The owner is still recorded at release time in both handoff
-			// modes: strict mode clears it in phase 3, same-cycle mode on
-			// the next line.
-			ev := obsv.Ev(obsv.KindRelease, s.now)
-			ev.Msg = s.owner[c]
-			ev.Ch = c
-			s.tracer.Event(ev)
-		}
-		if s.cfg.SameCycleHandoff {
-			s.owner[c] = -1
-		} else {
-			releases = append(releases, c)
-		}
-	}
-	var deferred []*message
-	for _, m := range s.msgs {
-		if c, won := granted[m.id]; won && freeing[c] {
-			deferred = append(deferred, m)
+	s.releases = s.releases[:0]
+	deferred := s.deferredBuf[:0]
+	for _, id := range s.active {
+		if c, won := s.granted(int(id)); won && s.freeing(c) {
+			deferred = append(deferred, id)
 			continue
 		}
-		if s.moveMessage(m, granted, release) {
+		if s.moveMessage(&s.msgs[id]) {
 			moved = true
 		}
 	}
-	for _, m := range deferred {
-		if s.moveMessage(m, granted, release) {
+	for _, id := range deferred {
+		if s.moveMessage(&s.msgs[id]) {
 			moved = true
 		}
 	}
+	s.deferredBuf = deferred[:0]
 
-	// Phase 3: end-of-cycle releases (strict mode) and freeze countdown.
-	for _, c := range releases {
+	// Phase 3: end-of-cycle releases (strict mode), freeze countdown, and
+	// active-list compaction: a terminal message leaves the working set
+	// once its freeze counter (encoded state) has drained.
+	for _, c := range s.releases {
 		// A release entry is only created when the owning message's tail
 		// left the channel; the owner cannot have changed within the cycle
 		// because acquisitions were arbitrated against the snapshot, which
@@ -796,7 +971,9 @@ func (s *Sim) step(picks map[topology.ChannelID]int) StepResult {
 		s.owner[c] = -1
 	}
 	thawed := false
-	for _, m := range s.msgs {
+	kept := s.active[:0]
+	for _, id := range s.active {
+		m := &s.msgs[id]
 		if m.frozen > 0 {
 			m.frozen--
 			thawed = true
@@ -807,7 +984,11 @@ func (s *Sim) step(picks map[topology.ChannelID]int) StepResult {
 			}
 		}
 		m.mask = topology.None
+		if !m.terminal() || m.frozen > 0 {
+			kept = append(kept, id)
+		}
 	}
+	s.active = kept
 	if s.tracer != nil {
 		s.traceWaits()
 	}
@@ -815,6 +996,25 @@ func (s *Sim) step(picks map[topology.ChannelID]int) StepResult {
 	s.lastMoved = moved
 	s.lastThawed = thawed
 	return StepResult{Moved: moved}
+}
+
+// release records that channel c's tail departed this cycle: immediately
+// freeing it under same-cycle handoff, at end of cycle in strict mode.
+func (s *Sim) release(c topology.ChannelID) {
+	if s.tracer != nil {
+		// The owner is still recorded at release time in both handoff
+		// modes: strict mode clears it in phase 3, same-cycle mode on
+		// the next line.
+		ev := obsv.Ev(obsv.KindRelease, s.now)
+		ev.Msg = s.owner[c]
+		ev.Ch = c
+		s.tracer.Event(ev)
+	}
+	if s.cfg.SameCycleHandoff {
+		s.owner[c] = -1
+	} else {
+		s.releases = append(s.releases, c)
+	}
 }
 
 // traceWaits diffs each message's current Definition 6 wait-for edge
@@ -827,84 +1027,62 @@ func (s *Sim) traceWaits() {
 		s.waitCh = append(s.waitCh, topology.None)
 		s.waitOwner = append(s.waitOwner, -1)
 	}
-	for _, m := range s.msgs {
-		ch, owner, ok := s.WaitsFor(m.id)
-		had := s.waitCh[m.id] != topology.None
+	for id := range s.msgs {
+		ch, owner, ok := s.WaitsFor(id)
+		had := s.waitCh[id] != topology.None
 		if !ok {
 			if had {
 				ev := obsv.Ev(obsv.KindWaitEdgeDel, s.now)
-				ev.Msg = m.id
-				ev.Ch = s.waitCh[m.id]
-				ev.Owner = s.waitOwner[m.id]
+				ev.Msg = id
+				ev.Ch = s.waitCh[id]
+				ev.Owner = s.waitOwner[id]
 				s.tracer.Event(ev)
 				ev.Kind = obsv.KindUnblock
 				s.tracer.Event(ev)
-				s.waitCh[m.id] = topology.None
-				s.waitOwner[m.id] = -1
+				s.waitCh[id] = topology.None
+				s.waitOwner[id] = -1
 			}
 			continue
 		}
-		if had && s.waitCh[m.id] == ch && s.waitOwner[m.id] == owner {
+		if had && s.waitCh[id] == ch && s.waitOwner[id] == owner {
 			continue
 		}
 		if had {
 			// Retargeted while still blocked: swap the edge, no unblock.
 			ev := obsv.Ev(obsv.KindWaitEdgeDel, s.now)
-			ev.Msg = m.id
-			ev.Ch = s.waitCh[m.id]
-			ev.Owner = s.waitOwner[m.id]
+			ev.Msg = id
+			ev.Ch = s.waitCh[id]
+			ev.Owner = s.waitOwner[id]
 			s.tracer.Event(ev)
 		} else {
 			ev := obsv.Ev(obsv.KindBlock, s.now)
-			ev.Msg = m.id
+			ev.Msg = id
 			ev.Ch = ch
 			ev.Owner = owner
 			s.tracer.Event(ev)
 		}
 		ev := obsv.Ev(obsv.KindWaitEdgeAdd, s.now)
-		ev.Msg = m.id
+		ev.Msg = id
 		ev.Ch = ch
 		ev.Owner = owner
 		s.tracer.Event(ev)
-		s.waitCh[m.id] = ch
-		s.waitOwner[m.id] = owner
+		s.waitCh[id] = ch
+		s.waitOwner[id] = owner
 	}
 }
 
 // moveMessage advances one message's flits front to back for one cycle,
-// calling release for each channel its tail departs. It reports whether
-// any flit moved. Acquisitions succeed only for channels granted to the
-// message that are actually free at the moment of the move (with
-// same-cycle handoff a predicted release may not have applied when handoff
-// chains exceed depth one; the acquisition is then skipped).
-func (s *Sim) moveMessage(m *message, granted map[int]topology.ChannelID, release func(topology.ChannelID)) bool {
+// releasing each channel its tail departs. It reports whether any flit
+// moved. Acquisitions succeed only for channels granted to the message in
+// this step's arbitration phase that are actually free at the moment of
+// the move (with same-cycle handoff a predicted release may not have
+// applied when handoff chains exceed depth one; the acquisition is then
+// skipped).
+func (s *Sim) moveMessage(m *message) bool {
 	if m.terminal() || m.frozen > 0 {
 		return false
 	}
 	moved := false
-	// acquire extends an adaptive message's materialized path by the
-	// granted channel; for oblivious messages the slot already exists.
-	acquire := func(i int, c topology.ChannelID) {
-		s.owner[c] = m.id
-		if s.tracer != nil {
-			ev := obsv.Ev(obsv.KindAcquire, s.now)
-			ev.Msg = m.id
-			ev.Ch = c
-			s.tracer.Event(ev)
-		}
-		if m.adaptive() {
-			m.path = append(m.path, c)
-			m.queued = append(m.queued, 0)
-		}
-		if i >= 0 {
-			m.queued[i]--
-		}
-		m.queued[i+1]++
-		moved = true
-		if i >= 0 && m.queued[i] == 0 && s.tailBehind(m, i) == 0 {
-			release(m.path[i])
-		}
-	}
 	h := m.headIdx()
 	last := len(m.path) - 1
 	for i := h; i >= 0; i-- {
@@ -920,6 +1098,7 @@ func (s *Sim) moveMessage(m *message, granted map[int]topology.ChannelID, releas
 				m.queued[i]--
 				m.consumed++
 				m.headerConsumed = true
+				s.flitsConsumed++
 				moved = true
 				if s.tracer != nil {
 					ev := obsv.Ev(obsv.KindConsume, s.now)
@@ -927,11 +1106,12 @@ func (s *Sim) moveMessage(m *message, granted map[int]topology.ChannelID, releas
 					ev.Ch = m.path[i]
 					s.tracer.Event(ev)
 				}
-				if m.queued[i] == 0 && s.tailBehind(m, i) == 0 {
-					release(m.path[i])
+				if m.queued[i] == 0 && s.noTailBehind(m, i) {
+					s.release(m.path[i])
 				}
 				if m.delivered() {
 					m.deliveredAt = s.now
+					s.liveCount--
 					if s.tracer != nil {
 						ev := obsv.Ev(obsv.KindDeliver, s.now)
 						ev.Msg = m.id
@@ -944,8 +1124,9 @@ func (s *Sim) moveMessage(m *message, granted map[int]topology.ChannelID, releas
 			// Adaptive header at the frontier of its materialized path:
 			// extend it with the granted candidate, if any is free.
 			if i == h && !m.headerConsumed {
-				if c, won := granted[m.id]; won && s.owner[c] == -1 {
-					acquire(i, c)
+				if c, won := s.granted(m.id); won && s.owner[c] == -1 {
+					s.acquire(m, i, c)
+					moved = true
 				}
 			}
 			continue
@@ -962,23 +1143,24 @@ func (s *Sim) moveMessage(m *message, granted map[int]topology.ChannelID, releas
 					ev.Ch = next
 					s.tracer.Event(ev)
 				}
-				if m.queued[i] == 0 && s.tailBehind(m, i) == 0 {
-					release(m.path[i])
+				if m.queued[i] == 0 && s.noTailBehind(m, i) {
+					s.release(m.path[i])
 				}
 			}
 			continue
 		}
 		// Oblivious header acquisition of its fixed next channel.
 		if i == h && !m.headerConsumed && s.owner[next] == -1 {
-			if c, won := granted[m.id]; won && c == next {
-				acquire(i, c)
+			if c, won := s.granted(m.id); won && c == next {
+				s.acquire(m, i, c)
+				moved = true
 			}
 		}
 	}
 	// Injection: source -> path[0].
 	if m.injected < m.spec.Length && !m.held && s.now >= m.spec.InjectAt {
 		if m.injected == 0 {
-			if c, won := granted[m.id]; won && s.owner[c] == -1 {
+			if c, won := s.granted(m.id); won && s.owner[c] == -1 {
 				if !m.adaptive() && c != m.path[0] {
 					panic("sim: oblivious message granted a foreign channel")
 				}
@@ -1015,36 +1197,66 @@ func (s *Sim) moveMessage(m *message, granted map[int]topology.ChannelID, releas
 	return moved
 }
 
-// tailBehind returns the number of this message's flits strictly behind
-// path index i (buffered in earlier channels or still at the source).
-func (s *Sim) tailBehind(m *message, i int) int {
-	n := m.spec.Length - m.injected // at source
-	for j := 0; j < i; j++ {
-		n += m.queued[j]
+// acquire hands channel c to message m and moves its head flit forward
+// from path index i; for adaptive messages it first extends the
+// materialized path by the granted channel (for oblivious ones the slot
+// already exists).
+func (s *Sim) acquire(m *message, i int, c topology.ChannelID) {
+	s.owner[c] = m.id
+	if s.tracer != nil {
+		ev := obsv.Ev(obsv.KindAcquire, s.now)
+		ev.Msg = m.id
+		ev.Ch = c
+		s.tracer.Event(ev)
 	}
-	return n
+	if m.adaptive() {
+		m.path = append(m.path, c)
+		m.queued = append(m.queued, 0)
+	}
+	if i >= 0 {
+		m.queued[i]--
+	}
+	m.queued[i+1]++
+	if i >= 0 && m.queued[i] == 0 && s.noTailBehind(m, i) {
+		s.release(m.path[i])
+	}
+}
+
+// noTailBehind reports whether none of this message's flits sit strictly
+// behind path index i (at the source or buffered in an earlier channel) —
+// the release condition for channel i once its buffer empties. While the
+// source still holds flits it is O(1), and the scan exits at the first
+// occupied slot, so the hot loop never pays a full prefix sum.
+func (s *Sim) noTailBehind(m *message, i int) bool {
+	if m.injected < m.spec.Length {
+		return false
+	}
+	for j := 0; j < i; j++ {
+		if m.queued[j] != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // AllDelivered reports whether every message has been fully consumed.
 func (s *Sim) AllDelivered() bool {
-	for _, m := range s.msgs {
-		if !m.delivered() {
-			return false
-		}
-	}
-	return true
+	return s.liveCount == 0 && s.droppedCount == 0
 }
 
 // AllTerminal reports whether every message reached a terminal state:
 // delivered, or dropped by a recovery policy.
-func (s *Sim) AllTerminal() bool {
-	for _, m := range s.msgs {
-		if !m.terminal() {
-			return false
-		}
-	}
-	return true
-}
+func (s *Sim) AllTerminal() bool { return s.liveCount == 0 }
+
+// LiveMessages returns the number of messages not yet delivered or
+// dropped. The traffic engine polls it instead of scanning every message.
+func (s *Sim) LiveMessages() int { return s.liveCount }
+
+// FlitsConsumed returns the total number of flits consumed at
+// destinations since New or Reset. The counter is monotone: recovery
+// resets discard a message's consumed flits but do not rewind it, so
+// window deltas measure accepted throughput.
+func (s *Sim) FlitsConsumed() int64 { return s.flitsConsumed }
 
 // quiescent reports whether the state can never change again without
 // external intervention: nothing moved last cycle, no message is frozen,
@@ -1056,7 +1268,8 @@ func (s *Sim) quiescent() bool {
 	if s.lastMoved || s.lastThawed {
 		return false
 	}
-	for _, m := range s.msgs {
+	for _, id := range s.active {
+		m := &s.msgs[id]
 		if m.terminal() {
 			continue
 		}
@@ -1172,9 +1385,9 @@ func (s *Sim) terminalOutcome() Outcome {
 
 func (s *Sim) undelivered() []int {
 	var ids []int
-	for _, m := range s.msgs {
-		if !m.terminal() {
-			ids = append(ids, m.id)
+	for i := range s.msgs {
+		if !s.msgs[i].terminal() {
+			ids = append(ids, i)
 		}
 	}
 	return ids
@@ -1182,9 +1395,9 @@ func (s *Sim) undelivered() []int {
 
 func (s *Sim) droppedIDs() []int {
 	var ids []int
-	for _, m := range s.msgs {
-		if m.dropped {
-			ids = append(ids, m.id)
+	for i := range s.msgs {
+		if s.msgs[i].dropped {
+			ids = append(ids, i)
 		}
 	}
 	return ids
@@ -1202,21 +1415,28 @@ func (s *Sim) Clone() *Sim {
 		cfg.Arbiter = a.CloneArbiter()
 	}
 	c := &Sim{
-		net:          s.net,
-		cfg:          cfg,
-		now:          s.now,
-		owner:        append([]int(nil), s.owner...),
-		downUntil:    append([]int(nil), s.downUntil...),
-		waitingSince: append([]int(nil), s.waitingSince...),
-		lastMoved:    s.lastMoved,
-		lastThawed:   s.lastThawed,
+		net:           s.net,
+		cfg:           cfg,
+		now:           s.now,
+		owner:         append([]int(nil), s.owner...),
+		downUntil:     append([]int(nil), s.downUntil...),
+		waitingSince:  append([]int(nil), s.waitingSince...),
+		active:        append([]int32(nil), s.active...),
+		liveCount:     s.liveCount,
+		droppedCount:  s.droppedCount,
+		flitsConsumed: s.flitsConsumed,
+		lastMoved:     s.lastMoved,
+		lastThawed:    s.lastThawed,
 	}
-	c.msgs = make([]*message, len(s.msgs))
-	for i, m := range s.msgs {
-		cp := *m
+	// The scratch arenas deliberately stay zero: they are transient
+	// per-step working memory and regrow lazily in the clone.
+	c.msgs = make([]message, len(s.msgs))
+	for i := range s.msgs {
+		m := &s.msgs[i]
+		cp := &c.msgs[i]
+		*cp = *m
 		cp.queued = append([]int(nil), m.queued...)
 		cp.path = append([]topology.ChannelID(nil), m.path...)
-		c.msgs[i] = &cp
 	}
 	return c
 }
@@ -1231,7 +1451,8 @@ func (s *Sim) Clone() *Sim {
 // instead of InjectAt).
 func (s *Sim) Encode() string {
 	var b strings.Builder
-	for _, m := range s.msgs {
+	for i := range s.msgs {
+		m := &s.msgs[i]
 		fmt.Fprintf(&b, "m%d:i%dc%df%d", m.id, m.injected, m.consumed, m.frozen)
 		if m.held {
 			b.WriteByte('h')
@@ -1296,7 +1517,7 @@ type MsgView struct {
 
 // Message returns a snapshot of message id.
 func (s *Sim) Message(id int) MsgView {
-	m := s.msgs[id]
+	m := &s.msgs[id]
 	return MsgView{
 		ID:             m.id,
 		Spec:           m.spec,
@@ -1324,7 +1545,7 @@ func (s *Sim) Message(id int) MsgView {
 // (Definition 6 is specific to oblivious routing, where the wanted channel
 // is unique).
 func (s *Sim) WaitsFor(id int) (ch topology.ChannelID, owner int, ok bool) {
-	m := s.msgs[id]
+	m := &s.msgs[id]
 	// A frozen or held message still "waits" in the Definition 6 sense
 	// only if its next channel is occupied; compute eligibility manually
 	// rather than via wantedChannels (which also filters frozen/held).
@@ -1376,13 +1597,13 @@ func (s *Sim) WaitsFor(id int) (ch topology.ChannelID, owner int, ok bool) {
 // to prune pointless adversarial stalls: freezing a message that cannot
 // move is a no-op.
 func (s *Sim) CanAdvance(id int) bool {
-	m := s.msgs[id]
+	m := &s.msgs[id]
 	if m.terminal() || m.frozen > 0 {
 		return false
 	}
-	freeing := s.predictReleases()
+	s.predictReleases()
 	acquirable := func(c topology.ChannelID) bool {
-		return (s.owner[c] == -1 || freeing[c]) && !s.down(c)
+		return (s.owner[c] == -1 || s.freeing(c)) && !s.down(c)
 	}
 	h := m.headIdx()
 	last := len(m.path) - 1
@@ -1434,7 +1655,7 @@ func (s *Sim) CanAdvance(id int) bool {
 // fault-recovery watchdog uses this to excuse stalls that a pending repair
 // will resolve and to intervene immediately on dead-path starvation.
 func (s *Sim) FaultBlocked(id int) (repairAt int, blocked bool) {
-	m := s.msgs[id]
+	m := &s.msgs[id]
 	if m.terminal() || m.frozen > 0 || s.CanAdvance(id) {
 		return 0, false
 	}

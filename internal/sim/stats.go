@@ -35,7 +35,8 @@ func Collect(s *Sim) Stats {
 	st := Stats{Messages: len(s.msgs), Cycles: s.now}
 	totalLatency := 0
 	var latencies []int
-	for _, m := range s.msgs {
+	for i := range s.msgs {
+		m := &s.msgs[i]
 		st.FlitsMoved += m.consumed
 		st.Retries += m.retries
 		if m.dropped {

@@ -1,0 +1,77 @@
+package traffic
+
+import (
+	"math/rand"
+
+	"repro/internal/topology"
+)
+
+// Adversarial and permutation patterns beyond the classic set in
+// traffic.go. All of them are deterministic given the seed, so saturation
+// sweeps built on them reproduce byte-for-byte.
+
+// Tornado returns the tornado pattern on a grid: each coordinate moves
+// just under halfway around its dimension, dst_i = (src_i + ceil(k_i/2) - 1)
+// mod k_i. On tori this concentrates load in one rotational direction —
+// the classic worst case for dimension-order routing; on meshes it still
+// produces long same-direction routes.
+func Tornado(g *topology.Grid) Pattern {
+	return func(src topology.NodeID, _ *rand.Rand) topology.NodeID {
+		c := g.Coords(src)
+		out := make([]int, len(c))
+		for i, k := range g.Dims {
+			out[i] = (c[i] + (k+1)/2 - 1) % k
+		}
+		return g.NodeAt(out)
+	}
+}
+
+// Complement returns the dimension-complement pattern: dst_i = k_i-1-src_i
+// in every dimension (bit complement on binary radices). Every route
+// crosses the network bisection, so it stresses center channels.
+func Complement(g *topology.Grid) Pattern {
+	return func(src topology.NodeID, _ *rand.Rand) topology.NodeID {
+		c := g.Coords(src)
+		out := make([]int, len(c))
+		for i, k := range g.Dims {
+			out[i] = k - 1 - c[i]
+		}
+		return g.NodeAt(out)
+	}
+}
+
+// Shuffle returns the perfect-shuffle pattern over n nodes: the
+// destination is the source's index rotated left by one bit within the
+// smallest power of two covering n. Sources whose image falls outside the
+// network send to themselves (skipped).
+func Shuffle(n int) Pattern {
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	return func(src topology.NodeID, _ *rand.Rand) topology.NodeID {
+		if bits == 0 {
+			return src
+		}
+		v := uint(src)
+		r := (v<<1 | v>>(bits-1)) & (1<<bits - 1)
+		if int(r) >= n {
+			return src
+		}
+		return topology.NodeID(r)
+	}
+}
+
+// RandomPermutation returns a fixed permutation pattern sampled uniformly
+// from S_n by the given seed: node i always sends to perm[i], with any
+// fixed points left as self-sends (skipped). Sweeping seeds explores the
+// space of adversarial permutations the oblivious-routing literature
+// bounds worst-case throughput over.
+func RandomPermutation(n int, seed int64) Pattern {
+	rng := rand.New(rand.NewSource(seed))
+	perm := make([]topology.NodeID, n)
+	for i, v := range rng.Perm(n) {
+		perm[i] = topology.NodeID(v)
+	}
+	return Permutation(perm)
+}
