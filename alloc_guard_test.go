@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/obsv"
+	"repro/internal/obsv/telemetry"
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -47,6 +48,28 @@ func TestStepZeroAllocSteadyState(t *testing.T) {
 	}
 	if s.AllTerminal() {
 		t.Fatal("test bug: traffic drained before the measurement ended")
+	}
+}
+
+// TestStepTelemetryZeroAllocSteadyState pins the sampled hot path at the
+// same 0 allocs/op as the unobserved one. The stride is set low enough
+// that every measured window both takes samples and closes frames, so
+// the accumulator scan, FinishSample, and the frame-ring copy are all
+// exercised — none of them may touch the heap.
+func TestStepTelemetryZeroAllocSteadyState(t *testing.T) {
+	s := crossTrafficSim(4096)
+	col := telemetry.NewCollector(s.Network().NumChannels(), telemetry.Config{Stride: 2, FrameEvery: 4, Ring: 8})
+	s.SetTelemetry(col)
+	if n := testing.AllocsPerRun(200, func() {
+		s.Step()
+	}); n != 0 {
+		t.Fatalf("sampled Step allocates %v allocs/op; telemetry must stay on the collector's fixed arrays", n)
+	}
+	if col.Samples() == 0 {
+		t.Fatal("collector took no samples; the guard measured an unsampled path")
+	}
+	if col.FramesClosed() == 0 {
+		t.Fatal("collector closed no frames; the guard never exercised the ring copy")
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"repro/internal/mcheck"
 	"repro/internal/obsv/manifest"
 	"repro/internal/obsv/serve"
+	"repro/internal/obsv/telemetry"
 	"repro/internal/papernets"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -262,6 +263,31 @@ func main() {
 			s.CopyFrom(proto)
 			if out := s.Run(10_000); out.Result != sim.ResultDelivered {
 				fail("E7: %v", out.Result)
+			}
+		}
+	}))
+	// E7 with the telemetry plane attached at the default stride: the
+	// sampled path must also stay at 0 allocs/op, and the ns/op delta
+	// against the plain E7 row is the telemetry overhead the CI benchdiff
+	// gate watches.
+	add(plainEntry("E7_SimThroughput_Telemetry", func(b *testing.B) {
+		g := topology.NewMesh([]int{16, 16}, 1)
+		alg := routing.DimensionOrder(g)
+		src, dst := g.NodeAt([]int{0, 0}), g.NodeAt([]int{15, 15})
+		proto := sim.New(g.Network, sim.Config{})
+		proto.MustAdd(sim.MessageSpec{Src: src, Dst: dst, Length: 64, Path: alg.Path(src, dst)})
+		s := sim.New(g.Network, sim.Config{})
+		s.SetTelemetry(telemetry.NewCollector(g.Network.NumChannels(), telemetry.Config{}))
+		s.CopyFrom(proto)
+		if out := s.Run(10_000); out.Result != sim.ResultDelivered {
+			fail("E7_Telemetry: %v", out.Result)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.CopyFrom(proto)
+			if out := s.Run(10_000); out.Result != sim.ResultDelivered {
+				fail("E7_Telemetry: %v", out.Result)
 			}
 		}
 	}))

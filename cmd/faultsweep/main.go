@@ -24,8 +24,10 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/fault"
+	"repro/internal/obsv"
 	"repro/internal/obsv/manifest"
 	"repro/internal/obsv/serve"
+	"repro/internal/obsv/telemetry"
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -58,6 +60,11 @@ type cell struct {
 	ScheduledFaults   int          `json:"scheduled_faults"`
 	DeliveredFraction float64      `json:"delivered_fraction"`
 	Report            fault.Report `json:"report"`
+
+	// telemetry is forwarded to the cell's manifest run, not the campaign
+	// JSON (the campaign document predates telemetry and stays byte-stable
+	// when the flags are off).
+	telemetry *telemetry.Summary
 }
 
 func main() {
@@ -144,6 +151,7 @@ func main() {
 				Name:         fmt.Sprintf("mtbf%g %s", mtbf, c.Policy),
 				TopologyHash: manifest.TopologyHash(net),
 				Verdict:      c.Report.Result,
+				Telemetry:    c.telemetry,
 			})
 		}
 	}
@@ -184,7 +192,15 @@ func main() {
 // runCell simulates one (schedule, policy) point on a fresh simulator.
 func runCell(net *topology.Network, a routing.Algorithm, msgs []sim.MessageSpec, sch fault.Schedule, pol fault.Policy, mtbf float64, depth, maxCyc int, obs *cli.Observer) cell {
 	s := sim.New(net, sim.Config{BufferDepth: depth})
-	s.SetTracer(obs.Tracer)
+	col, rec := obs.NewTelemetry(net)
+	if col != nil {
+		s.SetTelemetry(col)
+	}
+	tracer := obs.Tracer
+	if rec != nil {
+		tracer = obsv.Multi{obs.Tracer, rec}
+	}
+	s.SetTracer(tracer)
 	for _, m := range msgs {
 		s.MustAdd(m)
 	}
@@ -200,13 +216,37 @@ func runCell(net *topology.Network, a routing.Algorithm, msgs []sim.MessageSpec,
 			})
 		}
 	}
-	r := fault.Runner{Sim: s, Schedule: sch, Recovery: fault.DefaultRecovery(pol), Alg: a, Tracer: obs.Tracer, Progress: heartbeat}
+	r := fault.Runner{Sim: s, Schedule: sch, Recovery: fault.DefaultRecovery(pol), Alg: a, Tracer: tracer, Progress: heartbeat}
 	rep := r.Run(maxCyc)
+	// Flight-recorder dumps go to a per-cell subdirectory; only cells that
+	// went wrong (deadlock/timeout verdicts or liveness classifications)
+	// produce one.
+	reason := ""
+	switch rep.Outcome.Result {
+	case sim.ResultDeadlock:
+		reason = "deadlock"
+	case sim.ResultTimeout:
+		reason = "timeout"
+	}
+	if reason == "" {
+		switch {
+		case rep.LocalDeadlocks > 0:
+			reason = "local-deadlock"
+		case rep.Livelocks > 0:
+			reason = "livelock"
+		case rep.Starvations > 0:
+			reason = "starvation"
+		}
+	}
+	if reason != "" {
+		obs.DumpFlight(rec, fmt.Sprintf("mtbf%g-%s", mtbf, pol), reason)
+	}
 	return cell{
 		MTBF: mtbf, Policy: pol.String(),
 		ScheduledFaults:   len(sch.Events),
 		DeliveredFraction: rep.Stats.DeliveredFraction(),
 		Report:            rep,
+		telemetry:         cli.TelemetrySummary(col, nil),
 	}
 }
 

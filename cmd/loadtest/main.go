@@ -34,6 +34,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/obsv/manifest"
 	"repro/internal/obsv/serve"
+	"repro/internal/obsv/telemetry"
 	"repro/internal/sim"
 	"repro/internal/traffic"
 )
@@ -42,25 +43,37 @@ import (
 // keep integers where determinism is delicate (cycle counts, flits) and
 // floats only for derived ratios.
 type point struct {
-	Rate          float64 `json:"rate"`
-	OfferedFlits  float64 `json:"offered_flits_per_node_cycle"`
-	MeasOffered   int64   `json:"offered_flits_measured"`
-	MeasAccepted  int64   `json:"accepted_flits_measured"`
-	Throughput    float64 `json:"accepted_flits_per_node_cycle"`
-	Generated     int     `json:"generated"`
-	Injected      int     `json:"injected"`
-	Delivered     int     `json:"delivered"`
-	Backlog       int     `json:"backlog"`
-	Cycles        int     `json:"cycles"`
-	Samples       int     `json:"latency_samples"`
-	AvgLatency    float64 `json:"avg_latency"`
-	P50           int     `json:"p50_latency"`
-	P95           int     `json:"p95_latency"`
-	P99           int     `json:"p99_latency"`
-	Max           int     `json:"max_latency"`
-	Saturated     bool    `json:"saturated"`
-	Deadlocked    bool    `json:"deadlocked,omitempty"`
-	DeadlockCycle int     `json:"deadlock_cycle,omitempty"`
+	Rate         float64 `json:"rate"`
+	OfferedFlits float64 `json:"offered_flits_per_node_cycle"`
+	MeasOffered  int64   `json:"offered_flits_measured"`
+	MeasAccepted int64   `json:"accepted_flits_measured"`
+	Throughput   float64 `json:"accepted_flits_per_node_cycle"`
+	// AcceptedFraction is accepted/offered over the measure window (1
+	// when nothing was offered); Divergence is its complement — the
+	// per-point saturation signal, 0 below saturation and growing as
+	// source queues build.
+	AcceptedFraction float64 `json:"accepted_fraction"`
+	Divergence       float64 `json:"offered_accepted_divergence"`
+	Generated        int     `json:"generated"`
+	Injected         int     `json:"injected"`
+	Delivered        int     `json:"delivered"`
+	Backlog          int     `json:"backlog"`
+	Cycles           int     `json:"cycles"`
+	Samples          int     `json:"latency_samples"`
+	AvgLatency       float64 `json:"avg_latency"`
+	P50              int     `json:"p50_latency"`
+	P95              int     `json:"p95_latency"`
+	P99              int     `json:"p99_latency"`
+	Max              int     `json:"max_latency"`
+	Saturated        bool    `json:"saturated"`
+	Deadlocked       bool    `json:"deadlocked,omitempty"`
+	DeadlockCycle    int     `json:"deadlock_cycle,omitempty"`
+	// SourceAccepted is the per-source accepted-flit series (measure
+	// window, delivered messages), emitted with -persource.
+	SourceAccepted []int64 `json:"source_accepted,omitempty"`
+	// Telemetry summarizes the point's channel telemetry when -telemetry
+	// or -flight-recorder is on.
+	Telemetry *telemetry.Summary `json:"telemetry,omitempty"`
 }
 
 // curve is the whole JSON artifact.
@@ -81,23 +94,24 @@ type curve struct {
 
 func main() {
 	var (
-		topo     = flag.String("topo", "mesh", "topology: mesh, torus, ring, uring, hypercube, star, complete")
-		dims     = flag.String("dims", "8x8", "dimensions, e.g. 8x8 (grids) or 8 (others)")
-		vcs      = flag.Int("vcs", 1, "virtual channels per link (grids)")
-		alg      = flag.String("alg", "dor", "routing: dor, negfirst, dallyseitz, ecube, bfs, valiant, valiantsplit, hub")
-		pattern  = flag.String("pattern", "uniform", "traffic: "+cli.PatternNames)
-		rates    = flag.String("rates", "0.02:0.20:0.02", "offered-rate grid: lo:hi:step, or a comma list like 0.05,0.1,0.2")
-		arrivals = flag.String("arrivals", "bernoulli", "arrival process: bernoulli, bursty")
-		burstlen = flag.Float64("burstlen", 16, "bursty: mean burst length in cycles")
-		peak     = flag.Float64("peak", 4, "bursty: ON-phase rate multiplier (> 1)")
-		length   = flag.Int("length", 8, "message length in flits")
-		depth    = flag.Int("bufdepth", 1, "flit buffer depth per channel")
-		warmup   = flag.Int("warmup", 500, "warmup cycles before the measurement window")
-		measure  = flag.Int("measure", 2000, "measurement window in cycles")
-		drain    = flag.Int("drain", 20000, "max cycles to drain in-flight traffic after the window")
-		seed     = flag.Int64("seed", 1, "base seed; point i runs with a seed derived from (seed, i)")
-		workers  = flag.Int("workers", 1, "rate points computed in parallel (output is identical for any value)")
-		outPath  = flag.String("o", "", "write the JSON curve here (default stdout)")
+		topo      = flag.String("topo", "mesh", "topology: mesh, torus, ring, uring, hypercube, star, complete")
+		dims      = flag.String("dims", "8x8", "dimensions, e.g. 8x8 (grids) or 8 (others)")
+		vcs       = flag.Int("vcs", 1, "virtual channels per link (grids)")
+		alg       = flag.String("alg", "dor", "routing: dor, negfirst, dallyseitz, ecube, bfs, valiant, valiantsplit, hub")
+		pattern   = flag.String("pattern", "uniform", "traffic: "+cli.PatternNames)
+		rates     = flag.String("rates", "0.02:0.20:0.02", "offered-rate grid: lo:hi:step, or a comma list like 0.05,0.1,0.2")
+		arrivals  = flag.String("arrivals", "bernoulli", "arrival process: bernoulli, bursty")
+		burstlen  = flag.Float64("burstlen", 16, "bursty: mean burst length in cycles")
+		peak      = flag.Float64("peak", 4, "bursty: ON-phase rate multiplier (> 1)")
+		length    = flag.Int("length", 8, "message length in flits")
+		depth     = flag.Int("bufdepth", 1, "flit buffer depth per channel")
+		warmup    = flag.Int("warmup", 500, "warmup cycles before the measurement window")
+		measure   = flag.Int("measure", 2000, "measurement window in cycles")
+		drain     = flag.Int("drain", 20000, "max cycles to drain in-flight traffic after the window")
+		seed      = flag.Int64("seed", 1, "base seed; point i runs with a seed derived from (seed, i)")
+		workers   = flag.Int("workers", 1, "rate points computed in parallel (output is identical for any value)")
+		perSource = flag.Bool("persource", false, "include the per-source accepted-flit series in each point")
+		outPath   = flag.String("o", "", "write the JSON curve here (default stdout)")
 	)
 	obsvF := cli.RegisterObsvFlags()
 	flag.Parse()
@@ -145,13 +159,21 @@ func main() {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			// Each point gets its own collector/recorder: points run in
+			// parallel, and telemetry frames must depend only on the
+			// point's own deterministic simulation.
+			col, rec := obs.NewTelemetry(net)
 			l := traffic.Load{
 				Alg: a, Pattern: pat, Arrivals: factoryFor(rate),
 				Length: *length, Warmup: *warmup, Measure: *measure, Drain: *drain,
 				// Decorrelate points without coupling them to worker
 				// scheduling: the seed depends only on the grid index.
-				Seed:   *seed + int64(i)*1_000_003,
-				Config: sim.Config{BufferDepth: *depth},
+				Seed:      *seed + int64(i)*1_000_003,
+				Config:    sim.Config{BufferDepth: *depth},
+				Telemetry: col,
+			}
+			if rec != nil {
+				l.Tracer = rec
 			}
 			r, err := l.Run()
 			if err != nil {
@@ -162,18 +184,34 @@ func main() {
 			p := point{
 				Rate: rate, OfferedFlits: offered,
 				MeasOffered: r.OfferedFlits, MeasAccepted: r.AcceptedFlits,
-				Throughput: r.Throughput,
-				Generated: r.Generated, Injected: r.Injected, Delivered: r.Delivered,
+				Throughput:       r.Throughput,
+				AcceptedFraction: 1, // offered == 0 accepts everything there was
+				Generated:        r.Generated, Injected: r.Injected, Delivered: r.Delivered,
 				Backlog: r.Backlog, Cycles: r.Cycles,
 				Samples: r.LatencySamples, AvgLatency: r.AvgLatency,
 				P50: r.P50Latency, P95: r.P95Latency, P99: r.P99Latency, Max: r.MaxLatency,
 				Deadlocked: r.Deadlocked, DeadlockCycle: r.DeadlockCycle,
 			}
+			if r.OfferedFlits > 0 {
+				p.AcceptedFraction = float64(r.AcceptedFlits) / float64(r.OfferedFlits)
+				p.Divergence = 1 - p.AcceptedFraction
+			}
+			if *perSource {
+				p.SourceAccepted = r.SourceAccepted
+			}
+			p.Telemetry = cli.TelemetrySummary(col, r.Latency)
 			// Saturated: the network deadlocked, or it accepted measurably
 			// less than was actually offered during the window (the source
 			// queues grow without bound past saturation).
 			p.Saturated = r.Deadlocked ||
 				(r.OfferedFlits > 0 && float64(r.AcceptedFlits) < 0.90*float64(r.OfferedFlits))
+			if p.Saturated {
+				reason := "saturated"
+				if r.Deadlocked {
+					reason = "deadlock"
+				}
+				obs.DumpFlight(rec, fmt.Sprintf("rate-%g", rate), reason)
+			}
 			points[i] = p
 			obs.Publish(serve.Snapshot{
 				Source: "loadtest", Name: name, Cycle: r.Cycles,
@@ -222,9 +260,21 @@ func main() {
 	obs.Publish(serve.Snapshot{
 		Source: "loadtest", Name: name, Done: true, Verdict: verdict,
 	})
-	obs.RecordRun(manifest.Run{
+	run := manifest.Run{
 		Name: name, TopologyHash: manifest.TopologyHash(net), Verdict: verdict,
-	})
+	}
+	// The manifest carries the telemetry of the most interesting point:
+	// the saturation point when one exists, else the highest rate swept.
+	for _, p := range points {
+		if p.Telemetry == nil {
+			continue
+		}
+		run.Telemetry = p.Telemetry
+		if p.Saturated {
+			break
+		}
+	}
+	obs.RecordRun(run)
 	if err := obs.Close(); err != nil {
 		log.Fatal(err)
 	}

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/fault"
+	"repro/internal/obsv"
 	"repro/internal/obsv/manifest"
 	"repro/internal/obsv/serve"
 	"repro/internal/routing"
@@ -122,7 +123,15 @@ func main() {
 	}
 
 	s := sim.New(net, cfg)
-	s.SetTracer(obs.Tracer)
+	col, rec := obs.NewTelemetry(net)
+	if col != nil {
+		s.SetTelemetry(col)
+	}
+	tracer := obs.Tracer
+	if rec != nil {
+		tracer = obsv.Multi{obs.Tracer, rec}
+	}
+	s.SetTracer(tracer)
 	for _, m := range msgs {
 		if _, err := s.Add(m); err != nil {
 			log.Fatal(err)
@@ -171,7 +180,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		r := fault.Runner{Sim: s, Schedule: sch, Recovery: fault.DefaultRecovery(pol), Alg: oblAlg, Tracer: obs.Tracer, Progress: heartbeat}
+		r := fault.Runner{Sim: s, Schedule: sch, Recovery: fault.DefaultRecovery(pol), Alg: oblAlg, Tracer: tracer, Progress: heartbeat}
 		rr := r.Run(*maxCyc)
 		rep, out = &rr, rr.Outcome
 	} else {
@@ -180,7 +189,7 @@ func main() {
 				// Detect-only: a timeout longer than the budget means the
 				// watchdog never intervenes; the run reports what happened.
 				Policy: fault.Drop, Watchdog: fault.Watchdog{CheckEvery: 8, Timeout: *maxCyc + 1},
-			}, Tracer: obs.Tracer, Progress: heartbeat}
+			}, Tracer: tracer, Progress: heartbeat}
 			rr := r.Run(*maxCyc)
 			rep, out = &rr, rr.Outcome
 		} else {
@@ -200,6 +209,29 @@ func main() {
 	if *paper != "" {
 		run.Scenario = name
 	}
+	run.Telemetry = cli.TelemetrySummary(col, nil)
+	// The flight recorder dumps only when something went wrong: a global
+	// deadlock or timeout verdict, or a watchdog liveness classification.
+	reason := ""
+	switch out.Result {
+	case sim.ResultDeadlock:
+		reason = "deadlock"
+	case sim.ResultTimeout:
+		reason = "timeout"
+	}
+	if reason == "" && rep != nil {
+		switch {
+		case rep.LocalDeadlocks > 0:
+			reason = "local-deadlock"
+		case rep.Livelocks > 0:
+			reason = "livelock"
+		case rep.Starvations > 0:
+			reason = "starvation"
+		}
+	}
+	if reason != "" {
+		obs.DumpFlight(rec, "", reason)
+	}
 	obs.RecordRun(run)
 	if err := obs.Close(); err != nil {
 		log.Fatal(err)
@@ -216,6 +248,10 @@ func main() {
 	fmt.Printf("latency:    avg %.2f p50 %d p95 %d p99 %d max %d cycles\n",
 		stats.AvgLatency, stats.P50Latency, stats.P95Latency, stats.P99Latency, stats.MaxLatency)
 	fmt.Printf("throughput: %.3f flits/cycle\n", stats.Throughput)
+	if ts := run.Telemetry; ts != nil && ts.Samples > 0 {
+		fmt.Printf("telemetry:  %d frames / %d samples (stride %d), mean util %.3f, hottest c%d (util %.3f, %d blocked samples)\n",
+			ts.Frames, ts.Samples, ts.Stride, ts.MeanUtil, ts.HottestChannel, ts.HottestUtil, ts.HottestBlocked)
+	}
 	if rep != nil {
 		fmt.Printf("faults:     %d injected, %d interventions (%d retries, %d reroutes, %d drops)\n",
 			rep.FaultsInjected, rep.Interventions, rep.AbortRetries, rep.Reroutes, rep.Drops)

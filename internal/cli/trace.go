@@ -13,6 +13,7 @@ import (
 	"repro/internal/obsv"
 	"repro/internal/obsv/manifest"
 	"repro/internal/obsv/serve"
+	"repro/internal/obsv/telemetry"
 	"repro/internal/topology"
 )
 
@@ -21,13 +22,15 @@ import (
 // trio -serve, -profile, -manifest. Register them with RegisterObsvFlags
 // before flag.Parse, then Open an Observer.
 type ObsvFlags struct {
-	Trace       *string
-	TraceFormat *string
-	Metrics     *string
-	Progress    *bool
-	Serve       *string
-	Profile     *string
-	Manifest    *string
+	Trace          *string
+	TraceFormat    *string
+	Metrics        *string
+	Progress       *bool
+	Serve          *string
+	Profile        *string
+	Manifest       *string
+	Telemetry      *int
+	FlightRecorder *string
 }
 
 // RegisterObsvFlags registers the shared observability flags on the
@@ -41,6 +44,10 @@ func RegisterObsvFlags() *ObsvFlags {
 		Serve:       flag.String("serve", "", "serve /metrics, /progress, /healthz and /debug/pprof on this address while the run executes (e.g. :8080)"),
 		Profile:     flag.String("profile", "", "write cpu.pprof and heap.pprof for the run into this directory"),
 		Manifest:    flag.String("manifest", "", "write a run-manifest JSON (command, flags, verdicts, timings, peak RSS) to this file"),
+		Telemetry: flag.Int("telemetry", 0,
+			"sample per-channel telemetry every N cycles (0 = off; implied at stride 64 by -flight-recorder)"),
+		FlightRecorder: flag.String("flight-recorder", "",
+			"write a flight-recorder dump (telemetry frames, recent events, wait-for DOT, congestion heatmap) into this directory when the run deadlocks, fails liveness, or saturates"),
 	}
 }
 
@@ -67,6 +74,11 @@ type Observer struct {
 	// Manifest accumulates the invocation's run manifest behind -manifest;
 	// nil when unset. Close writes it.
 	Manifest *manifest.Builder
+	// TelemetryStride is the -telemetry sampling stride (0 when off);
+	// FlightDir the -flight-recorder dump directory ("" when off). Build
+	// per-run collectors/recorders from them with NewTelemetry.
+	TelemetryStride int
+	FlightDir       string
 
 	progress    bool
 	profiler    *manifest.Profiler
@@ -100,7 +112,7 @@ func traceFormat(format, path string) (string, error) {
 // The caller must Close the observer to flush the trace and write the
 // metrics snapshot.
 func (f *ObsvFlags) Open(name string, lanes []string) (*Observer, error) {
-	o := &Observer{progress: *f.Progress}
+	o := &Observer{progress: *f.Progress, TelemetryStride: *f.Telemetry, FlightDir: *f.FlightRecorder}
 	var tracers obsv.Multi
 	if *f.Metrics != "" || *f.Serve != "" {
 		// -serve needs a live registry for /metrics even when no snapshot
@@ -325,6 +337,72 @@ func (o *Observer) PublishSearchDone(name string, res mcheck.SearchResult) {
 		Done:         true,
 		Verdict:      res.Verdict.String(),
 	})
+}
+
+// NewTelemetry builds the sampling-telemetry pair a run on net should
+// attach, from the -telemetry / -flight-recorder flags: a collector for
+// sim.SetTelemetry (nil when both flags are off) and a flight recorder
+// for sim.SetTracer (nil unless -flight-recorder is set). When the live
+// observatory or a metrics snapshot is on, each closing frame is bridged
+// to the /telemetry endpoint and to telemetry_* gauges. Collectors are
+// per-run: sweeps call this once per point/cell.
+func (o *Observer) NewTelemetry(net *topology.Network) (*telemetry.Collector, *telemetry.FlightRecorder) {
+	if o == nil || (o.TelemetryStride <= 0 && o.FlightDir == "") {
+		return nil, nil
+	}
+	col := telemetry.NewCollector(net.NumChannels(), telemetry.Config{Stride: o.TelemetryStride})
+	if o.Server != nil || o.Metrics != nil {
+		srv, reg := o.Server, o.Metrics
+		var buf []byte
+		col.OnFrame = func(f *telemetry.Frame) {
+			if srv != nil {
+				buf = f.AppendJSON(buf[:0])
+				srv.TelemetryHub().Publish(buf)
+			}
+			if reg != nil {
+				reg.Gauge("telemetry_frames").Set(int64(f.Index + 1))
+				reg.Gauge("telemetry_live_messages").Set(int64(f.Live))
+				reg.Gauge("telemetry_frame_flits").Set(f.FlitsDelta)
+			}
+		}
+	}
+	var rec *telemetry.FlightRecorder
+	if o.FlightDir != "" {
+		rec = telemetry.NewFlightRecorder(net, 0, col)
+	}
+	return col, rec
+}
+
+// DumpFlight writes the recorder's bundle into the observer's flight
+// directory (joined with sub when non-empty) and logs where it went.
+// No-op when the recorder is nil or -flight-recorder is off, so callers
+// invoke it unconditionally on bad verdicts.
+func (o *Observer) DumpFlight(rec *telemetry.FlightRecorder, sub, reason string) {
+	if o == nil || rec == nil || o.FlightDir == "" {
+		return
+	}
+	dir := o.FlightDir
+	if sub != "" {
+		dir = filepath.Join(dir, sub)
+	}
+	if err := rec.Dump(dir, reason); err != nil {
+		fmt.Fprintf(os.Stderr, "flight-recorder: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "flight-recorder: wrote %s (%s)\n", dir, reason)
+}
+
+// TelemetrySummary flushes the collector's partial frame and returns its
+// manifest summary block, with latency quantiles from lat when non-nil.
+// Nil in, nil out, so callers can assign it to manifest.Run.Telemetry
+// unconditionally.
+func TelemetrySummary(col *telemetry.Collector, lat *telemetry.Sketch) *telemetry.Summary {
+	if col == nil {
+		return nil
+	}
+	col.Flush()
+	s := col.Summary(lat)
+	return &s
 }
 
 // ChannelLanes names one Chrome-trace lane per channel of the network,

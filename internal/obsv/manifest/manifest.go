@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obsv/telemetry"
 	"repro/internal/topology"
 )
 
@@ -64,6 +65,11 @@ type Run struct {
 	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
 	// Warnings surfaced by the run (e.g. a panicking progress callback).
 	Warnings []string `json:"warnings,omitempty"`
+	// Telemetry summarizes the run's sampling telemetry when a collector
+	// was attached (-telemetry / -flight-recorder): stride, frame and
+	// sample counts, mean/peak channel utilization, the hottest channel,
+	// and latency sketch quantiles.
+	Telemetry *telemetry.Summary `json:"telemetry,omitempty"`
 }
 
 // Profiles records where the -profile flag wrote pprof data.

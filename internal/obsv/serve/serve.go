@@ -10,6 +10,8 @@
 //	/healthz       liveness JSON (pid, uptime, Go version)
 //	/progress      latest progress snapshot as JSON; with ?stream=sse (or
 //	               Accept: text/event-stream) an SSE stream of snapshots
+//	/telemetry     latest telemetry frame as JSON; with ?stream=sse an SSE
+//	               stream of frames as the sampling collector closes them
 //	/debug/pprof/  the standard runtime profiling endpoints
 //
 // The server reports; it never steers. Nothing reachable over HTTP can
@@ -36,6 +38,7 @@ import (
 type Server struct {
 	reg     *obsv.Registry
 	hub     *Hub
+	thub    *RawHub
 	mux     *http.ServeMux
 	started time.Time
 
@@ -44,13 +47,15 @@ type Server struct {
 }
 
 // New returns a server exposing the registry (may be nil: /metrics then
-// serves an empty exposition) and a fresh progress hub.
+// serves an empty exposition), a fresh progress hub, and a fresh
+// telemetry hub.
 func New(reg *obsv.Registry) *Server {
-	s := &Server{reg: reg, hub: NewHub(), mux: http.NewServeMux(), started: time.Now()}
+	s := &Server{reg: reg, hub: NewHub(), thub: NewRawHub(), mux: http.NewServeMux(), started: time.Now()}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/progress", s.handleProgress)
+	s.mux.HandleFunc("/telemetry", s.handleTelemetry)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -61,6 +66,9 @@ func New(reg *obsv.Registry) *Server {
 
 // Hub returns the progress hub feeding /progress.
 func (s *Server) Hub() *Hub { return s.hub }
+
+// TelemetryHub returns the raw-payload hub feeding /telemetry.
+func (s *Server) TelemetryHub() *RawHub { return s.thub }
 
 // Handler returns the server's routing handler, for tests that mount it
 // on an httptest.Server instead of a real listener.
@@ -99,6 +107,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"/metrics       Prometheus exposition of the live registry\n"+
 		"/healthz       liveness\n"+
 		"/progress      latest progress snapshot (?stream=sse to follow)\n"+
+		"/telemetry     latest telemetry frame (?stream=sse to follow)\n"+
 		"/debug/pprof/  runtime profiles\n")
 }
 

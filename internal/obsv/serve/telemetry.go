@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// RawHub fans pre-serialized JSON payloads out to subscribers and retains
+// the most recent one — the same drop-on-slow semantics as Hub, but for
+// producers (the telemetry collector) that already own a deterministic
+// encoding and should not be re-marshaled. Publish copies the payload, so
+// producers may reuse their buffers.
+type RawHub struct {
+	mu   sync.Mutex
+	last []byte
+	subs map[chan []byte]struct{}
+}
+
+// NewRawHub returns an empty hub.
+func NewRawHub() *RawHub {
+	return &RawHub{subs: make(map[chan []byte]struct{})}
+}
+
+// Publish stores a copy of buf as the latest payload and broadcasts it.
+// Slow subscribers have payloads dropped, never block the producer.
+func (h *RawHub) Publish(buf []byte) {
+	cp := append([]byte(nil), buf...)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.last = cp
+	for ch := range h.subs {
+		select {
+		case ch <- cp:
+		default: // slow subscriber: drop, the next payload supersedes
+		}
+	}
+}
+
+// Latest returns the most recent payload, nil when nothing was published.
+func (h *RawHub) Latest() []byte {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.last
+}
+
+// Subscribe registers a subscriber (pre-seeded with the latest payload,
+// if any); cancel unregisters it.
+func (h *RawHub) Subscribe() (<-chan []byte, func()) {
+	ch := make(chan []byte, 16)
+	h.mu.Lock()
+	if h.last != nil {
+		ch <- h.last
+	}
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	cancel := func() {
+		h.mu.Lock()
+		delete(h.subs, ch)
+		h.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// handleTelemetry serves the latest telemetry frame as JSON, or an SSE
+// stream of frames (?stream=sse or Accept: text/event-stream) — the
+// /telemetry sibling of /progress, fed by the sampling collector instead
+// of the progress hub.
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	stream := r.URL.Query().Get("stream") == "sse" ||
+		strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if !stream {
+		w.Header().Set("Content-Type", "application/json")
+		if last := s.thub.Latest(); last != nil {
+			w.Write(last)
+			w.Write([]byte("\n"))
+			return
+		}
+		w.Write([]byte("{}\n"))
+		return
+	}
+
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	fl.Flush()
+
+	events, cancel := s.thub.Subscribe()
+	defer cancel()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case buf := <-events:
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", buf); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

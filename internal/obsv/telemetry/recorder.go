@@ -1,0 +1,380 @@
+// The flight recorder: a fixed-capacity ring of recent obsv events plus
+// the collector's frame ring, dumped as a post-mortem bundle only when
+// something goes wrong (deadlock, livelock, starvation, saturation). The
+// analogy is deliberate — it records continuously at bounded cost and is
+// read only after the crash.
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/obsv"
+	"repro/internal/topology"
+)
+
+// FlightRecorder is an obsv.Tracer that retains the last N events in a
+// ring buffer and tracks the current wait-for graph incrementally, so a
+// dump can render the final graph without replaying the trace. Attach it
+// to a simulator (typically fanned out with obsv.Multi next to other
+// sinks) alongside a Collector on the same run; Dump then writes the
+// bundle:
+//
+//	flight.jsonl  header, retained telemetry frames, retained events
+//	waitfor.dot   the final wait-for graph, closed cycles in red
+//	heatmap.svg   per-channel congestion (busy+blocked), hottest outlined
+//
+// Recording is allocation-free after the wait-edge arrays reach the
+// run's message count; a dump allocates freely (it runs once, after the
+// verdict).
+type FlightRecorder struct {
+	net       *topology.Network
+	collector *Collector
+
+	events []obsv.Event // ring: events[i%cap] holds event i
+	seen   int          // events observed
+
+	waitCh    []topology.ChannelID // msg -> waited-for channel, None when not waiting
+	waitOwner []int
+	waitSeen  []bool // msg ever appeared in the wait graph
+	heldBy    []int  // channel -> holding message, -1 when free
+	lastCycle int
+	verdict   string // most recent deadlock/livelock/starvation/outcome note
+}
+
+// DefaultEventCap is the event-ring capacity NewFlightRecorder uses when
+// given a non-positive capacity.
+const DefaultEventCap = 4096
+
+// NewFlightRecorder returns a recorder over net retaining the last cap
+// events (DefaultEventCap when cap <= 0). The collector supplies the
+// telemetry frames and congestion totals for the dump; it may be nil,
+// which drops the frame and heatmap artifacts from the bundle.
+func NewFlightRecorder(net *topology.Network, cap int, c *Collector) *FlightRecorder {
+	if cap <= 0 {
+		cap = DefaultEventCap
+	}
+	heldBy := make([]int, net.NumChannels())
+	for i := range heldBy {
+		heldBy[i] = -1
+	}
+	return &FlightRecorder{
+		net:       net,
+		collector: c,
+		events:    make([]obsv.Event, cap),
+		heldBy:    heldBy,
+	}
+}
+
+// Collector returns the telemetry collector feeding the recorder's
+// frames, nil when none was attached.
+func (r *FlightRecorder) Collector() *Collector { return r.collector }
+
+// Event implements obsv.Tracer.
+func (r *FlightRecorder) Event(e obsv.Event) {
+	r.events[r.seen%len(r.events)] = e
+	r.seen++
+	if e.Cycle > r.lastCycle {
+		r.lastCycle = e.Cycle
+	}
+	switch e.Kind {
+	case obsv.KindAcquire:
+		if int(e.Ch) < len(r.heldBy) {
+			r.heldBy[e.Ch] = e.Msg
+		}
+	case obsv.KindRelease:
+		if int(e.Ch) < len(r.heldBy) {
+			r.heldBy[e.Ch] = -1
+		}
+	case obsv.KindWaitEdgeAdd:
+		r.ensureWait(max(e.Msg, e.Owner))
+		r.waitCh[e.Msg] = e.Ch
+		r.waitOwner[e.Msg] = e.Owner
+		r.waitSeen[e.Msg] = true
+		r.waitSeen[e.Owner] = true
+	case obsv.KindWaitEdgeDel:
+		r.ensureWait(e.Msg)
+		r.waitCh[e.Msg] = topology.None
+	case obsv.KindDeadlock:
+		r.verdict = "deadlock"
+	case obsv.KindLocalDeadlock:
+		r.verdict = "local-deadlock"
+	case obsv.KindLivelock:
+		r.verdict = "livelock"
+	case obsv.KindStarvation:
+		r.verdict = "starvation"
+	case obsv.KindOutcome:
+		if r.verdict == "" {
+			r.verdict = e.Note
+		}
+	}
+}
+
+func (r *FlightRecorder) ensureWait(id int) {
+	for len(r.waitCh) <= id {
+		r.waitCh = append(r.waitCh, topology.None)
+		r.waitOwner = append(r.waitOwner, -1)
+		r.waitSeen = append(r.waitSeen, false)
+	}
+}
+
+// Retained returns how many events the ring currently holds.
+func (r *FlightRecorder) Retained() int { return min(r.seen, len(r.events)) }
+
+// Verdict returns the most recent failure verdict the event stream
+// carried ("" when the run looked healthy).
+func (r *FlightRecorder) Verdict() string { return r.verdict }
+
+// cycleMembers returns the messages on closed wait-for cycles. The
+// relation is functional (one outgoing edge per blocked message), so a
+// pointer chase from every waiting node suffices — same algorithm as
+// obsv.DOTSink.
+func (r *FlightRecorder) cycleMembers() map[int]bool {
+	members := map[int]bool{}
+	for start := range r.waitCh {
+		if r.waitCh[start] == topology.None {
+			continue
+		}
+		visited := map[int]bool{}
+		at, ok := start, true
+		for ok && !visited[at] {
+			visited[at] = true
+			if at >= len(r.waitCh) || r.waitCh[at] == topology.None {
+				ok = false
+			} else {
+				at = r.waitOwner[at]
+			}
+		}
+		if ok && visited[at] {
+			for c := at; ; {
+				members[c] = true
+				c = r.waitOwner[c]
+				if c == at {
+					break
+				}
+			}
+		}
+	}
+	return members
+}
+
+// CycleChannels returns the channel set of closed wait-for cycles — the
+// deadlocked resource cycle in channel terms: every channel a cycle
+// member waits for, plus every channel a cycle member holds (its arc).
+// Definition 6's cycle is over messages; the corresponding channel cycle
+// is exactly this held-plus-waited set.
+func (r *FlightRecorder) CycleChannels() []topology.ChannelID {
+	members := r.cycleMembers()
+	set := map[topology.ChannelID]bool{}
+	for m := range members {
+		if r.waitCh[m] != topology.None {
+			set[r.waitCh[m]] = true
+		}
+	}
+	for ch, holder := range r.heldBy {
+		if holder >= 0 && members[holder] {
+			set[topology.ChannelID(ch)] = true
+		}
+	}
+	chs := make([]topology.ChannelID, 0, len(set))
+	for ch := range set {
+		chs = append(chs, ch)
+	}
+	sort.Slice(chs, func(i, j int) bool { return chs[i] < chs[j] })
+	return chs
+}
+
+// Dump writes the flight bundle into dir (created if needed). reason
+// labels why the dump fired ("deadlock", "saturated", ...); when empty
+// the recorder's own verdict is used.
+func (r *FlightRecorder) Dump(dir, reason string) error {
+	if reason == "" {
+		reason = r.verdict
+	}
+	if reason == "" {
+		reason = "requested"
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	if r.collector != nil {
+		r.collector.Flush()
+	}
+	if err := os.WriteFile(filepath.Join(dir, "flight.jsonl"), r.renderJSONL(reason), 0o644); err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "waitfor.dot"), r.renderDOT(reason), 0o644); err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	if r.collector != nil {
+		if err := os.WriteFile(filepath.Join(dir, "heatmap.svg"), r.renderHeatmap(reason), 0o644); err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+	}
+	return nil
+}
+
+// renderJSONL builds flight.jsonl: one header object, then the retained
+// telemetry frames oldest-first, then the retained events oldest-first.
+// Every line is deterministic for a deterministic run.
+func (r *FlightRecorder) renderJSONL(reason string) []byte {
+	var b []byte
+	frames := 0
+	if r.collector != nil {
+		frames = min(r.collector.FramesClosed(), r.collector.cfg.Ring)
+	}
+	b = append(b, `{"flight_recorder":true,"reason":`...)
+	b = appendQuoted(b, reason)
+	b = append(b, `,"cycle":`...)
+	b = append(b, fmt.Sprint(r.lastCycle)...)
+	b = append(b, `,"events_seen":`...)
+	b = append(b, fmt.Sprint(r.seen)...)
+	b = append(b, `,"events_retained":`...)
+	b = append(b, fmt.Sprint(r.Retained())...)
+	b = append(b, `,"frames_retained":`...)
+	b = append(b, fmt.Sprint(frames)...)
+	b = append(b, '}', '\n')
+	if r.collector != nil {
+		for _, f := range r.collector.Frames() {
+			b = f.AppendJSON(b)
+			b = append(b, '\n')
+		}
+	}
+	first := r.seen - r.Retained()
+	for i := first; i < r.seen; i++ {
+		b = r.events[i%len(r.events)].AppendJSON(b)
+		b = append(b, '\n')
+	}
+	return b
+}
+
+// renderDOT renders the final wait-for graph, closed cycles red — the
+// same conventions as obsv.DOTSink, so the artifact diffs cleanly against
+// a full DOT trace's last snapshot.
+func (r *FlightRecorder) renderDOT(reason string) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", fmt.Sprintf("flight wait-for @%d [%s]", r.lastCycle, reason))
+	b.WriteString("  rankdir=LR;\n")
+	inCycle := r.cycleMembers()
+	var ids []int
+	for id, seen := range r.waitSeen {
+		if seen {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		attrs := ""
+		if inCycle[id] {
+			attrs = " color=red style=bold"
+		}
+		fmt.Fprintf(&b, "  m%d [label=\"m%d\"%s];\n", id, id, attrs)
+	}
+	for _, id := range ids {
+		if r.waitCh[id] == topology.None {
+			continue
+		}
+		attrs := ""
+		if inCycle[id] && inCycle[r.waitOwner[id]] {
+			attrs = " color=red style=bold"
+		}
+		fmt.Fprintf(&b, "  m%d -> m%d [label=\"c%d\"%s];\n", id, r.waitOwner[id], r.waitCh[id], attrs)
+	}
+	b.WriteString("}\n")
+	return []byte(b.String())
+}
+
+// heatmapRows bounds the heatmap to the hottest channels so the artifact
+// stays readable on large networks; a footer reports what was cut.
+const heatmapRows = 64
+
+// renderHeatmap renders per-channel congestion (busy+blocked samples over
+// the whole run) as a deterministic SVG bar chart, hottest first. Bars
+// shade from green (cool) to red (hot); channels on a closed wait-for
+// cycle are bordered red, and the single hottest channel black.
+func (r *FlightRecorder) renderHeatmap(reason string) []byte {
+	c := r.collector
+	type row struct {
+		ch   int
+		heat uint64
+	}
+	rows := make([]row, 0, c.channels)
+	var maxHeat uint64
+	for ch := 0; ch < c.channels; ch++ {
+		h := c.Heat(ch)
+		if h > 0 {
+			rows = append(rows, row{ch, h})
+			if h > maxHeat {
+				maxHeat = h
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].heat != rows[j].heat {
+			return rows[i].heat > rows[j].heat
+		}
+		return rows[i].ch < rows[j].ch
+	})
+	cut := 0
+	if len(rows) > heatmapRows {
+		cut = len(rows) - heatmapRows
+		rows = rows[:heatmapRows]
+	}
+	onCycle := map[topology.ChannelID]bool{}
+	for _, ch := range r.CycleChannels() {
+		onCycle[ch] = true
+	}
+
+	const rowH, labelW, barW = 18, 150, 500
+	width := labelW + barW + 20
+	height := (len(rows)+2)*rowH + 30
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="12">`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="10" y="18">channel congestion (busy+blocked samples) — %s @%d</text>`+"\n", reason, r.lastCycle)
+	y := 30
+	for i, row := range rows {
+		frac := float64(row.heat) / float64(maxHeat)
+		w := int(frac * barW)
+		if w < 1 {
+			w = 1
+		}
+		// Green-to-red ramp by integer interpolation, deterministic.
+		red := int(255 * frac)
+		green := 255 - red
+		stroke := "none"
+		if onCycle[topology.ChannelID(row.ch)] {
+			stroke = "red"
+		}
+		if i == 0 {
+			stroke = "black"
+		}
+		ch := r.net.Channel(topology.ChannelID(row.ch))
+		fmt.Fprintf(&b, `<text x="10" y="%d">c%d %d→%d</text>`+"\n", y+13, row.ch, ch.Src, ch.Dst)
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="rgb(%d,%d,0)" stroke="%s"/>`+"\n", labelW, y+2, w, rowH-4, red, green, stroke)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%d</text>`+"\n", labelW+w+5, y+13, row.heat)
+		y += rowH
+	}
+	if cut > 0 {
+		fmt.Fprintf(&b, `<text x="10" y="%d">(%d cooler channels omitted)</text>`+"\n", y+13, cut)
+	}
+	b.WriteString("</svg>\n")
+	return []byte(b.String())
+}
+
+// appendQuoted appends s as a JSON string (telemetry strings are plain
+// ASCII identifiers; quotes and backslashes escaped for safety).
+func appendQuoted(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"', '\\':
+			b = append(b, '\\', c)
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}

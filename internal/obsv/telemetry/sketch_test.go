@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// sliceQuantile is the raw-sample nearest-rank rule the sketch replaces
+// (the one traffic.Load used on its grow-forever latency slice): the
+// smallest sample such that at least p% of samples are <= it.
+func sliceQuantile(sorted []int, p int) int {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestSketchQuantileExactInLinearRange: for any sample set within the
+// lossless linear range the sketch must reproduce the raw-slice
+// nearest-rank quantiles exactly — the property that keeps loadtest's
+// JSON byte-identical after the slice-to-sketch swap.
+func TestSketchQuantileExactInLinearRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(2000)
+		s := NewSketch()
+		samples := make([]int, n)
+		for i := range samples {
+			samples[i] = rng.Intn(sketchLinearMax)
+			s.Add(samples[i])
+		}
+		sort.Ints(samples)
+		for _, p := range []int{0, 1, 25, 50, 90, 95, 99, 100} {
+			if got, want := s.Quantile(p), sliceQuantile(samples, p); got != want {
+				t.Fatalf("trial %d n=%d p%d: sketch %d, slice %d", trial, n, p, got, want)
+			}
+		}
+		if got, want := s.Max(), samples[n-1]; got != want {
+			t.Fatalf("Max = %d, want %d", got, want)
+		}
+		if got, want := s.Min(), samples[0]; got != want {
+			t.Fatalf("Min = %d, want %d", got, want)
+		}
+	}
+}
+
+// TestSketchTailRelativeError: above the linear range the sketch is
+// lossy but bounded — a quantile may overestimate by at most one
+// sub-bucket width (relative error 1/sketchSubBuckets) and never
+// underestimates the true nearest-rank value.
+func TestSketchTailRelativeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewSketch()
+	var samples []int
+	for i := 0; i < 5000; i++ {
+		v := sketchLinearMax + rng.Intn(1<<28)
+		samples = append(samples, v)
+		s.Add(v)
+	}
+	sort.Ints(samples)
+	for _, p := range []int{50, 95, 99} {
+		want := sliceQuantile(samples, p)
+		got := s.Quantile(p)
+		if got < want {
+			t.Fatalf("p%d: sketch %d underestimates true %d", p, got, want)
+		}
+		if float64(got-want) > float64(want)/float64(sketchSubBuckets)+1 {
+			t.Fatalf("p%d: sketch %d vs true %d exceeds 1/%d relative error", p, got, want, sketchSubBuckets)
+		}
+	}
+	// The top rank still reports the exact max.
+	if got := s.Quantile(100); got != samples[len(samples)-1] {
+		t.Fatalf("p100 = %d, want exact max %d", got, samples[len(samples)-1])
+	}
+}
+
+// TestSketchLogIndexRoundTrip: every log bucket's inclusive upper bound
+// must map back into that bucket, and bucket boundaries must be
+// monotone — the invariants Quantile's conservative reporting relies on.
+func TestSketchLogIndexRoundTrip(t *testing.T) {
+	prev := sketchLinearMax - 1
+	for i := 0; i < sketchLogBuckets-1; i++ { // last bucket clamps, skip
+		up := logUpper(i)
+		if logIndex(up) != i {
+			t.Fatalf("bucket %d: upper bound %d maps to bucket %d", i, up, logIndex(up))
+		}
+		if up <= prev {
+			t.Fatalf("bucket %d: upper bound %d not above previous %d", i, up, prev)
+		}
+		if logIndex(up+1) != i+1 {
+			t.Fatalf("bucket %d: %d (upper+1) maps to bucket %d, want %d", i, up+1, logIndex(up+1), i+1)
+		}
+		prev = up
+	}
+	if logIndex(sketchLinearMax) != 0 {
+		t.Fatalf("first out-of-linear value maps to bucket %d", logIndex(sketchLinearMax))
+	}
+}
+
+// TestSketchMerge: merging two sketches must equal one sketch fed both
+// streams, including the JSON rendering.
+func TestSketchMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, b, all := NewSketch(), NewSketch(), NewSketch()
+	for i := 0; i < 3000; i++ {
+		v := rng.Intn(1 << 20)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+		all.Add(v)
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() || a.Sum() != all.Sum() || a.Max() != all.Max() || a.Min() != all.Min() {
+		t.Fatalf("merge scalars diverge: %d/%d/%d/%d vs %d/%d/%d/%d",
+			a.Count(), a.Sum(), a.Max(), a.Min(), all.Count(), all.Sum(), all.Max(), all.Min())
+	}
+	if !bytes.Equal(a.AppendJSON(nil), all.AppendJSON(nil)) {
+		t.Fatal("merged sketch JSON differs from single-stream sketch")
+	}
+}
+
+// TestSketchJSONDeterministic: identical sample sequences render to
+// identical bytes, and Reset returns the sketch to the empty rendering.
+func TestSketchJSONDeterministic(t *testing.T) {
+	feed := func(s *Sketch) {
+		for i := 0; i < 1000; i++ {
+			s.Add(i * 73 % 70000)
+		}
+	}
+	a, b := NewSketch(), NewSketch()
+	feed(a)
+	feed(b)
+	ja, jb := a.AppendJSON(nil), b.AppendJSON(nil)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("identical streams render differently:\n%s\n%s", ja, jb)
+	}
+	empty := NewSketch().AppendJSON(nil)
+	a.Reset()
+	if !bytes.Equal(a.AppendJSON(nil), empty) {
+		t.Fatalf("Reset sketch renders %s, want %s", a.AppendJSON(nil), empty)
+	}
+}
+
+// TestSketchEdgeCases: negative clamping, AddN weights, empty queries.
+func TestSketchEdgeCases(t *testing.T) {
+	s := NewSketch()
+	if s.Quantile(50) != 0 || s.Max() != 0 || s.Min() != 0 || s.Mean() != 0 {
+		t.Fatal("empty sketch must report zeros")
+	}
+	s.Add(-5)
+	if s.Min() != 0 || s.Max() != 0 || s.Count() != 1 {
+		t.Fatalf("negative sample must clamp to 0: %+v", s)
+	}
+	s.AddN(10, 9)
+	if s.Count() != 10 || s.Sum() != 90 {
+		t.Fatalf("AddN: count %d sum %d", s.Count(), s.Sum())
+	}
+	if s.Quantile(50) != 10 {
+		t.Fatalf("p50 of one 0 and nine 10s = %d, want 10", s.Quantile(50))
+	}
+	s.AddN(99, 0) // no-op
+	if s.Count() != 10 {
+		t.Fatal("AddN with n<=0 must be a no-op")
+	}
+}

@@ -1,0 +1,358 @@
+// Package telemetry is the sampling half of the observability layer: a
+// continuous, low-cost telemetry plane for long-horizon simulation runs,
+// complementing internal/obsv's discrete per-event tracing.
+//
+// Event tracing records *what happened* (every flit move, every wait-for
+// edge) and is priceless on paper-sized scenarios but unusable at
+// load-test scale: a 10⁸-cycle open-loop run emits billions of events.
+// The telemetry plane instead records *how the network looks* on a
+// configurable cycle stride — per-channel utilization, flit occupancy and
+// blocked-header counts accumulated into fixed-size arrays — so the cost
+// is an O(channels + messages) scan every Stride cycles and zero
+// allocations, regardless of run length.
+//
+// Samples aggregate into Frames (FrameEvery samples each), which are kept
+// in a fixed-capacity ring: the run's recent history is always available
+// for the flight recorder (see FlightRecorder) without unbounded growth.
+// Everything is deterministic: frames carry only logical quantities
+// (cycles, counts), sampling cycles are a pure function of the cycle
+// counter, and the JSON encodings are hand-rolled with fixed key order —
+// two identical runs produce byte-identical frame streams.
+package telemetry
+
+import "strconv"
+
+// Config sizes a Collector. Zero values select the defaults.
+type Config struct {
+	// Stride is the sampling period in cycles: the simulator takes one
+	// telemetry sample on every cycle divisible by Stride. Default 64.
+	Stride int
+	// FrameEvery is the number of samples aggregated into one frame.
+	// Default 16 (one frame per 1024 cycles at the default stride).
+	FrameEvery int
+	// Ring is the number of most-recent frames retained. Default 64.
+	Ring int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Stride < 1 {
+		c.Stride = 64
+	}
+	if c.FrameEvery < 1 {
+		c.FrameEvery = 16
+	}
+	if c.Ring < 1 {
+		c.Ring = 64
+	}
+	return c
+}
+
+// Frame is one closed aggregation window: FrameEvery samples (fewer for a
+// final partial frame) over the cycle span [Start, End]. The per-channel
+// slices are owned by the collector's ring and are overwritten once the
+// ring wraps — copy what must outlive the run.
+type Frame struct {
+	// Index is the frame's ordinal from the start of the run (frame 0 may
+	// have been evicted from the ring; Index keeps the stream addressable).
+	Index int
+	// Start and End are the cycles of the frame's first and last sample.
+	Start, End int
+	// Samples is the number of telemetry samples aggregated.
+	Samples int
+	// Busy[c] counts the samples at which channel c was held by a message;
+	// Busy[c]/Samples is the channel's utilization over the frame.
+	Busy []uint32
+	// Occ[c] sums channel c's buffered flit count over the samples;
+	// Occ[c]/Samples is its mean flit occupancy.
+	Occ []uint32
+	// Blocked[c] counts the samples at which channel c participated in a
+	// blocking dependency: held by a blocked message (a resource pinned by
+	// a stuck worm) or waited for by a blocked header (Definition 6's
+	// "waits for") — the congestion signal that precedes a deadlock cycle
+	// closing.
+	Blocked []uint32
+	// FlitsDelta is the number of flits consumed at destinations during
+	// the frame; Live is the live-message count at the closing sample.
+	FlitsDelta int64
+	Live       int
+}
+
+// AppendJSON appends the frame as one deterministic JSON object. Channels
+// with no activity are omitted; active ones are emitted in channel-ID
+// order as [id, busy, occ, blocked] quadruples.
+func (f *Frame) AppendJSON(b []byte) []byte {
+	b = append(b, `{"frame":`...)
+	b = strconv.AppendInt(b, int64(f.Index), 10)
+	b = append(b, `,"start":`...)
+	b = strconv.AppendInt(b, int64(f.Start), 10)
+	b = append(b, `,"end":`...)
+	b = strconv.AppendInt(b, int64(f.End), 10)
+	b = append(b, `,"samples":`...)
+	b = strconv.AppendInt(b, int64(f.Samples), 10)
+	b = append(b, `,"flits":`...)
+	b = strconv.AppendInt(b, f.FlitsDelta, 10)
+	b = append(b, `,"live":`...)
+	b = strconv.AppendInt(b, int64(f.Live), 10)
+	b = append(b, `,"channels":[`...)
+	first := true
+	for c := range f.Busy {
+		if f.Busy[c] == 0 && f.Occ[c] == 0 && f.Blocked[c] == 0 {
+			continue
+		}
+		if !first {
+			b = append(b, ',')
+		}
+		first = false
+		b = append(b, '[')
+		b = strconv.AppendInt(b, int64(c), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(f.Busy[c]), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(f.Occ[c]), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(f.Blocked[c]), 10)
+		b = append(b, ']')
+	}
+	b = append(b, `]}`...)
+	return b
+}
+
+// Collector accumulates per-channel telemetry samples into frames. Attach
+// one to a simulator with sim.SetTelemetry; the simulator fills the
+// current sample's arrays (Accum) and closes it (FinishSample) on its own
+// deterministic schedule. Everything the steady-state path touches is
+// preallocated by NewCollector, so sampling allocates nothing — the same
+// contract as the simulator's scratch arenas.
+//
+// A Collector is per-run working memory, not simulation state: like the
+// tracer, it never crosses Clone/CopyFrom and is not reset by Reset.
+type Collector struct {
+	cfg      Config
+	channels int
+
+	// Current accumulating frame.
+	busy, occ, blocked []uint32
+	samples            int
+	frameStart         int
+
+	// Frame ring, preallocated: frames[i%Ring] holds frame i.
+	frames []Frame
+	closed int // frames closed so far
+
+	// Run totals, accumulated at frame close (plus the current partials
+	// at Summary time).
+	totBusy, totOcc, totBlocked []uint64
+	totSamples                  int64
+	peakBusy                    uint32 // highest per-frame Busy[c] seen
+	peakSamples                 int    // Samples of the frame holding peakBusy
+
+	// Last finished sample, so a partial frame can be flushed at run end.
+	lastCycle int
+	lastFlits int64
+	lastLive  int
+	prevFlits int64 // FlitsConsumed at the previous frame boundary
+
+	// OnFrame, when set, is called with each frame as it closes (the
+	// pointer aliases ring memory — consume it synchronously). It feeds
+	// the live /telemetry endpoint and metrics bridge; nil (the default)
+	// keeps the frame-close path allocation-free.
+	OnFrame func(*Frame)
+}
+
+// NewCollector returns a collector for a network with the given channel
+// count, with every steady-state buffer preallocated.
+func NewCollector(channels int, cfg Config) *Collector {
+	cfg = cfg.withDefaults()
+	c := &Collector{
+		cfg:        cfg,
+		channels:   channels,
+		busy:       make([]uint32, channels),
+		occ:        make([]uint32, channels),
+		blocked:    make([]uint32, channels),
+		frames:     make([]Frame, cfg.Ring),
+		totBusy:    make([]uint64, channels),
+		totOcc:     make([]uint64, channels),
+		totBlocked: make([]uint64, channels),
+		lastCycle:  -1,
+	}
+	for i := range c.frames {
+		c.frames[i].Busy = make([]uint32, channels)
+		c.frames[i].Occ = make([]uint32, channels)
+		c.frames[i].Blocked = make([]uint32, channels)
+	}
+	return c
+}
+
+// Stride returns the sampling period in cycles.
+func (c *Collector) Stride() int { return c.cfg.Stride }
+
+// Channels returns the channel count the collector was sized for.
+func (c *Collector) Channels() int { return c.channels }
+
+// Due reports whether cycle now is a sampling cycle.
+func (c *Collector) Due(now int) bool { return now%c.cfg.Stride == 0 }
+
+// Accum returns the current sample's per-channel accumulators for the
+// producer to fill: busy (increment once per held channel), occ (add the
+// buffered flit count) and blocked (increment per waited-for channel).
+func (c *Collector) Accum() (busy, occ, blocked []uint32) {
+	return c.busy, c.occ, c.blocked
+}
+
+// FinishSample closes the sample taken at cycle now, given the producer's
+// monotone consumed-flit counter and live-message count. It closes a
+// frame every FrameEvery samples.
+func (c *Collector) FinishSample(now int, flits int64, live int) {
+	if c.samples == 0 {
+		c.frameStart = now
+	}
+	c.samples++
+	c.lastCycle, c.lastFlits, c.lastLive = now, flits, live
+	if c.samples >= c.cfg.FrameEvery {
+		c.closeFrame()
+	}
+}
+
+// Flush closes the current partial frame, if any. Call it at run end so
+// short runs (and the tail of long ones) still surface their last frame.
+func (c *Collector) Flush() {
+	if c.samples > 0 {
+		c.closeFrame()
+	}
+}
+
+func (c *Collector) closeFrame() {
+	f := &c.frames[c.closed%c.cfg.Ring]
+	f.Index = c.closed
+	f.Start = c.frameStart
+	f.End = c.lastCycle
+	f.Samples = c.samples
+	f.FlitsDelta = c.lastFlits - c.prevFlits
+	f.Live = c.lastLive
+	copy(f.Busy, c.busy)
+	copy(f.Occ, c.occ)
+	copy(f.Blocked, c.blocked)
+	for i := range c.busy {
+		c.totBusy[i] += uint64(c.busy[i])
+		c.totOcc[i] += uint64(c.occ[i])
+		c.totBlocked[i] += uint64(c.blocked[i])
+		if c.busy[i] > c.peakBusy {
+			c.peakBusy = c.busy[i]
+			c.peakSamples = c.samples
+		}
+	}
+	c.totSamples += int64(c.samples)
+	c.prevFlits = c.lastFlits
+	clear(c.busy)
+	clear(c.occ)
+	clear(c.blocked)
+	c.samples = 0
+	c.closed++
+	if c.OnFrame != nil {
+		c.OnFrame(f)
+	}
+}
+
+// Frames returns the retained frames in chronological order. The returned
+// slice is freshly allocated but its Busy/Occ/Blocked share ring memory.
+func (c *Collector) Frames() []*Frame {
+	n := min(c.closed, c.cfg.Ring)
+	out := make([]*Frame, 0, n)
+	for i := c.closed - n; i < c.closed; i++ {
+		out = append(out, &c.frames[i%c.cfg.Ring])
+	}
+	return out
+}
+
+// FramesClosed returns how many frames have closed since the run started
+// (including frames the ring has since evicted).
+func (c *Collector) FramesClosed() int { return c.closed }
+
+// Samples returns the total number of samples taken, including the
+// current partial frame.
+func (c *Collector) Samples() int64 { return c.totSamples + int64(c.samples) }
+
+// Hottest returns the channel with the highest run-total congestion —
+// busy plus blocked samples, the channels that are both held and waited
+// on — and that total. Ties break to the lowest channel ID. ok is false
+// when nothing was sampled busy or blocked.
+func (c *Collector) Hottest() (ch int, heat uint64, ok bool) {
+	ch = -1
+	for i := range c.totBusy {
+		h := c.totBusy[i] + c.totBlocked[i] + uint64(c.busy[i]) + uint64(c.blocked[i])
+		if h > heat {
+			ch, heat = i, h
+		}
+	}
+	return ch, heat, ch >= 0
+}
+
+// Heat returns channel ch's run-total busy+blocked sample count, the
+// quantity Hottest maximizes and the heatmap renders.
+func (c *Collector) Heat(ch int) uint64 {
+	return c.totBusy[ch] + c.totBlocked[ch] + uint64(c.busy[ch]) + uint64(c.blocked[ch])
+}
+
+// Util returns channel ch's run-mean utilization: the fraction of samples
+// at which it was held.
+func (c *Collector) Util(ch int) float64 {
+	n := c.Samples()
+	if n == 0 {
+		return 0
+	}
+	return float64(c.totBusy[ch]+uint64(c.busy[ch])) / float64(n)
+}
+
+// Summary condenses a run's telemetry for manifests and reports.
+type Summary struct {
+	Stride  int   `json:"stride"`
+	Frames  int   `json:"frames"`
+	Samples int64 `json:"samples"`
+	// MeanUtil is the run-mean channel utilization averaged over every
+	// channel; PeakUtil is the highest single-frame utilization any
+	// channel reached.
+	MeanUtil float64 `json:"mean_util"`
+	PeakUtil float64 `json:"peak_util"`
+	// HottestChannel is the channel with the highest busy+blocked sample
+	// count (-1 when nothing was sampled); HottestUtil its run-mean
+	// utilization and HottestBlocked its blocked-sample total.
+	HottestChannel int     `json:"hottest_channel"`
+	HottestUtil    float64 `json:"hottest_util"`
+	HottestBlocked int64   `json:"hottest_blocked"`
+	// Latency quantiles from the run's latency sketch, when one was kept.
+	LatencyP50 int `json:"latency_p50,omitempty"`
+	LatencyP95 int `json:"latency_p95,omitempty"`
+	LatencyP99 int `json:"latency_p99,omitempty"`
+}
+
+// Summary computes the run summary, including the current partial frame.
+// Pass the run's latency sketch to include its quantiles, or nil.
+func (c *Collector) Summary(lat *Sketch) Summary {
+	s := Summary{
+		Stride:         c.cfg.Stride,
+		Frames:         c.closed,
+		Samples:        c.Samples(),
+		HottestChannel: -1,
+	}
+	if s.Samples > 0 {
+		var busySum uint64
+		for i := range c.totBusy {
+			busySum += c.totBusy[i] + uint64(c.busy[i])
+		}
+		s.MeanUtil = float64(busySum) / (float64(s.Samples) * float64(c.channels))
+	}
+	if c.peakSamples > 0 {
+		s.PeakUtil = float64(c.peakBusy) / float64(c.peakSamples)
+	}
+	if ch, _, ok := c.Hottest(); ok {
+		s.HottestChannel = ch
+		s.HottestUtil = c.Util(ch)
+		s.HottestBlocked = int64(c.totBlocked[ch] + uint64(c.blocked[ch]))
+	}
+	if lat != nil && lat.Count() > 0 {
+		s.LatencyP50 = lat.Quantile(50)
+		s.LatencyP95 = lat.Quantile(95)
+		s.LatencyP99 = lat.Quantile(99)
+	}
+	return s
+}

@@ -26,6 +26,8 @@ func (s *Sim) Reset() {
 	s.flitsConsumed = 0
 	// Scratch arenas and their epoch counters survive Reset untouched:
 	// the counters only ever grow, so stale stamps can never read as set.
+	// The tracer and telemetry collector also survive: they are observers
+	// of this instance, not simulation state.
 }
 
 // CopyFrom overwrites s with a deep copy of src, reusing s's existing
@@ -72,8 +74,9 @@ func (s *Sim) CopyFrom(src *Sim) {
 	s.liveCount = src.liveCount
 	s.droppedCount = src.droppedCount
 	s.flitsConsumed = src.flitsConsumed
-	// s's scratch arenas and epochs are left alone: they are per-instance
-	// working memory, not simulation state.
+	// s's scratch arenas and epochs are left alone, and so are its tracer
+	// and telemetry collector: per-instance working memory and observers,
+	// not simulation state.
 }
 
 // SetInjectAt changes the earliest injection cycle of message id. Only

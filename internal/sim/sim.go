@@ -45,6 +45,7 @@ import (
 	"strings"
 
 	"repro/internal/obsv"
+	"repro/internal/obsv/telemetry"
 	"repro/internal/topology"
 )
 
@@ -238,6 +239,11 @@ type Sim struct {
 	// the disabled state, guarded by one branch per emission site. Clone
 	// and CopyFrom never propagate it: search clones stay silent.
 	tracer obsv.Tracer
+	// telemetry receives periodic channel-state samples while attached;
+	// nil (the default) is the disabled state, guarded by one branch per
+	// step. Like the tracer it is per-instance working memory: never
+	// propagated by Clone/CopyFrom, never touched by Reset.
+	telemetry *telemetry.Collector
 	// waitCh/waitOwner remember the last wait-for edge reported per
 	// message, so Step can emit block/unblock and wait-edge add/del
 	// transitions. Maintained only while a tracer is attached.
@@ -401,6 +407,18 @@ func (s *Sim) SetTracer(t obsv.Tracer) {
 
 // Tracer returns the attached tracer, nil when tracing is disabled.
 func (s *Sim) Tracer() obsv.Tracer { return s.tracer }
+
+// SetTelemetry attaches (or, with nil, detaches) a telemetry collector.
+// On every cycle divisible by the collector's stride, Step ends with one
+// O(channels + live messages) scan recording per-channel busy/occupancy/
+// blocked counts — no allocations, so long load runs sample for free.
+// Samples depend only on simulation state, never on wall clock, keeping
+// telemetry frames deterministic. Like the tracer, the collector is never
+// copied by Clone or CopyFrom.
+func (s *Sim) SetTelemetry(c *telemetry.Collector) { s.telemetry = c }
+
+// Telemetry returns the attached collector, nil when sampling is off.
+func (s *Sim) Telemetry() *telemetry.Collector { return s.telemetry }
 
 // Now returns the current cycle.
 func (s *Sim) Now() int { return s.now }
@@ -992,10 +1010,48 @@ func (s *Sim) step(picks map[topology.ChannelID]int) StepResult {
 	if s.tracer != nil {
 		s.traceWaits()
 	}
+	if s.telemetry != nil && s.telemetry.Due(s.now) {
+		s.sampleTelemetry()
+	}
 	s.now++
 	s.lastMoved = moved
 	s.lastThawed = thawed
 	return StepResult{Moved: moved}
+}
+
+// sampleTelemetry records one end-of-cycle telemetry sample: which
+// channels are held (busy), how many flits each buffers (occupancy), and
+// which channels participate in a blocking dependency — held by a
+// blocked message (a resource pinned by a stuck worm, the congestion-
+// tree signal) or waited for by a blocked header (the Definition 6
+// wait-for target). Runs after phase 3, so the sample sees the same
+// settled state the next cycle's arbitration will. Allocation-free: the
+// collector's accumulators are preallocated and WaitsFor uses the Sim's
+// scratch arenas.
+func (s *Sim) sampleTelemetry() {
+	busy, occ, blocked := s.telemetry.Accum()
+	for c, own := range s.owner {
+		if own >= 0 {
+			busy[c]++
+			if s.waitingSince[own] >= 0 {
+				blocked[c]++
+			}
+		}
+	}
+	for _, id := range s.active {
+		m := &s.msgs[id]
+		for i, q := range m.queued {
+			if q > 0 {
+				occ[m.path[i]] += uint32(q)
+			}
+		}
+		if s.waitingSince[id] >= 0 {
+			if ch, _, ok := s.WaitsFor(int(id)); ok {
+				blocked[ch]++
+			}
+		}
+	}
+	s.telemetry.FinishSample(s.now, s.flitsConsumed, s.liveCount)
 }
 
 // release records that channel c's tail departed this cycle: immediately

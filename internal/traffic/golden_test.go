@@ -1,0 +1,44 @@
+package traffic
+
+// Golden regression for the sketch-backed latency statistics. The
+// expected figures were recorded from the slice-backed implementation on
+// the canonical loadtest run (4x4 mesh, DOR, uniform Bernoulli, warmup
+// 500 / measure 600 / drain 20000, loadtest's per-point seed schedule),
+// so this test pins the replacement contract: swapping the grow-forever
+// sample slice for the telemetry sketch changed no published number.
+
+import "testing"
+
+func TestOpenLoopGoldenLatencyStats(t *testing.T) {
+	_, alg := mesh44()
+	golden := []struct {
+		rate               float64
+		seed               int64
+		samples            int
+		avg                float64
+		p50, p95, p99, max int
+	}{
+		{0.05, 1, 452, 23.758849557522122, 19, 55, 78, 91},
+		{0.15, 1_000_004, 1328, 1067.1227409638554, 1058, 1584, 1655, 1682},
+		{0.25, 2_000_007, 2217, 2285.277852954443, 2270, 3135, 3253, 3315},
+	}
+	for _, g := range golden {
+		l := Load{
+			Alg: alg, Pattern: Uniform(16), Arrivals: Bernoulli(g.rate),
+			Length: 8, Warmup: 500, Measure: 600, Drain: 20000, Seed: g.seed,
+		}
+		r, err := l.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.LatencySamples != g.samples || r.AvgLatency != g.avg ||
+			r.P50Latency != g.p50 || r.P95Latency != g.p95 ||
+			r.P99Latency != g.p99 || r.MaxLatency != g.max {
+			t.Errorf("rate %.2f: got samples=%d avg=%v p50=%d p95=%d p99=%d max=%d, want %+v",
+				g.rate, r.LatencySamples, r.AvgLatency, r.P50Latency, r.P95Latency, r.P99Latency, r.MaxLatency, g)
+		}
+		if int(r.Latency.Count()) != r.LatencySamples {
+			t.Errorf("rate %.2f: sketch count %d != samples %d", g.rate, r.Latency.Count(), r.LatencySamples)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package traffic
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/routing"
@@ -140,7 +141,7 @@ func TestOpenLoopDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("open-loop run not deterministic:\n%+v\n%+v", a, b)
 	}
 }

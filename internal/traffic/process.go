@@ -37,10 +37,10 @@ func Bernoulli(rate float64) Factory {
 }
 
 type burstyProcess struct {
-	onRate   float64 // arrival probability while in the ON phase
-	toOff    float64 // ON -> OFF switch probability per cycle
-	toOn     float64 // OFF -> ON switch probability per cycle
-	on       bool
+	onRate float64 // arrival probability while in the ON phase
+	toOff  float64 // ON -> OFF switch probability per cycle
+	toOn   float64 // OFF -> ON switch probability per cycle
+	on     bool
 }
 
 func (p *burstyProcess) Arrive(rng *rand.Rand) bool {
