@@ -18,9 +18,15 @@
 // regenerations (a zero-alloc baseline row going nonzero already fails
 // without -pin).
 //
+// Rows named in -require must be present in the NEW artifact — the guard
+// that keeps a benchmark (and the code path it asserts, like the
+// out-of-core E10 row) from silently dropping out of the suite, since a
+// row missing from NEW otherwise just renders as "removed".
+//
 //	benchdiff BENCH_mcheck.json BENCH_ci.json
 //	benchdiff -tolerance 0.5 baseline/ candidate/
 //	benchdiff -pin E7_SimThroughput,EncodeTo BENCH_mcheck.json BENCH_ci.json
+//	benchdiff -require E10_SearchOutOfCore BENCH_mcheck.json BENCH_ci.json
 package main
 
 import (
@@ -209,6 +215,7 @@ func main() {
 	tol := flag.Float64("tolerance", 0.2, "allowed fractional states/sec drop before a row counts as regressed")
 	allocTol := flag.Float64("alloc-tolerance", 0.05, "allowed fractional allocs/op increase before a row counts as regressed")
 	pin := flag.String("pin", "", "comma-separated rows that must measure exactly 0 allocs/op in NEW")
+	require := flag.String("require", "", "comma-separated rows that must be present in NEW")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] OLD NEW  (each a benchjson file or a manifest directory)")
@@ -231,6 +238,18 @@ func main() {
 	os.Stdout.WriteString(sb.String())
 
 	regressed := 0
+	if *require != "" {
+		for _, name := range strings.Split(*require, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if _, ok := cur[name]; !ok {
+				fmt.Fprintf(os.Stderr, "benchdiff: required row %q missing from %s\n", name, flag.Arg(1))
+				regressed++
+			}
+		}
+	}
 	if *pin != "" {
 		for _, name := range strings.Split(*pin, ",") {
 			name = strings.TrimSpace(name)

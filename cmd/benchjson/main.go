@@ -42,6 +42,11 @@ type entry struct {
 	Verdict      string `json:"verdict,omitempty"`
 	Reduction    string `json:"reduction,omitempty"`
 	StatesPruned int    `json:"states_pruned,omitempty"`
+	// Visited-set backend accounting, recorded for non-default backends.
+	// Spill bytes are deterministic (the merge inserts states in a fixed
+	// order), so the column diffs clean like the state counts do.
+	VisitedBackend string `json:"visited_backend,omitempty"`
+	SpillBytes     int64  `json:"spill_bytes,omitempty"`
 }
 
 type report struct {
@@ -98,6 +103,10 @@ func searchEntry(name string, sc sim.Scenario, opts mcheck.SearchOptions, want m
 	if probe.Reduction != mcheck.RedNone {
 		e.Reduction = probe.Reduction.String()
 		e.StatesPruned = probe.StatesPruned
+	}
+	if v := probe.Visited; v.Backend != "" && v.Backend != "mem" {
+		e.VisitedBackend = v.Backend
+		e.SpillBytes = v.SpillBytes
 	}
 	if e.NsPerOp > 0 {
 		e.StatesPerSec = int64(float64(probe.States) / (float64(e.NsPerOp) / 1e9))
@@ -169,6 +178,7 @@ func main() {
 			States: e.States, StatesPerSec: e.StatesPerSec,
 			NsPerOp: e.NsPerOp, AllocsPerOp: e.AllocsPerOp, BytesPerOp: e.BytesPerOp,
 			Reduction: e.Reduction, StatesPruned: e.StatesPruned,
+			VisitedBackend: e.VisitedBackend, SpillBytes: e.SpillBytes,
 		})
 		obs.Publish(serve.Snapshot{Source: "run", Name: e.Name, States: e.States, StatesPerSec: e.StatesPerSec})
 		fmt.Fprintf(os.Stderr, "%-28s %12d ns/op %10d allocs/op", e.Name, e.NsPerOp, e.AllocsPerOp)
@@ -296,6 +306,17 @@ func main() {
 	// the plain BFS row above.
 	add(livenessEntry("E8_LivenessSearch", papernets.Figure1().Scenario,
 		mcheck.SearchOptions{}, mcheck.VerdictNoDeadlock))
+	// E10: the out-of-core path — the E1 search through the spill backend
+	// under a deliberately tiny resident budget, so every level runs the
+	// compressed-frontier batch pipeline and the visited set cycles through
+	// sorted runs on disk. The verdict and state count must match E1
+	// exactly (the backend-parity contract); the ns/op delta against E1 is
+	// the price of bounded memory.
+	add(searchEntry("E10_SearchOutOfCore", papernets.Figure1().Scenario,
+		mcheck.SearchOptions{Visited: mcheck.VisitedConfig{
+			Backend:   mcheck.VisitedSpill,
+			MemBudget: 64 << 10,
+		}}, mcheck.VerdictNoDeadlock))
 	// Encoder microbench: EncodeTo on a mid-flight state.
 	add(plainEntry("EncodeTo", func(b *testing.B) {
 		s := papernets.Figure1().Scenario.NewSim()

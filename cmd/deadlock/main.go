@@ -46,8 +46,10 @@ func main() {
 	)
 	obsvF := cli.RegisterObsvFlags()
 	redF := cli.RegisterReductionFlag()
+	visF := cli.RegisterVisitedFlags()
 	flag.Parse()
 	red := cli.Reduction(*redF)
+	visited := visF.Config()
 	if *livens && *paper == "" {
 		log.Fatal("deadlock: -liveness needs -paper (a concrete scenario for the liveness engine to search)")
 	}
@@ -84,6 +86,7 @@ func main() {
 		FreezeInTransitOnly: true,
 		Parallelism:         *workers,
 		Reduction:           red,
+		Visited:             visited,
 		Tracer:              obs.Tracer,
 		Progress:            obs.SearchProgress(obsName),
 		ProgressEvery:       obs.ProgressInterval(),
@@ -138,6 +141,18 @@ func main() {
 			res.Verdict, res.States, *stall)
 		fmt.Printf("            %.0f states/sec, peak visited %d, %d worker(s), %s\n",
 			res.StatesPerSec, res.PeakVisited, res.Workers, res.Elapsed.Round(time.Millisecond))
+		v := res.Visited
+		switch v.Backend {
+		case "bitstate":
+			fmt.Printf("            visited %s: %s resident, bloom FP rate %.4f (%d/%d probes rechecked exactly)\n",
+				v.Backend, cli.FormatBytes(v.Bytes), v.BloomFPRate, v.BloomHits, v.BloomProbes)
+		case "spill":
+			fmt.Printf("            visited %s: %s resident, %s in %d run(s) on disk (%d compactions)\n",
+				v.Backend, cli.FormatBytes(v.Bytes), cli.FormatBytes(v.SpillBytes), v.SpillRuns, v.Compactions)
+		default:
+			fmt.Printf("            visited %s: %s resident, peak shard %d entries\n",
+				v.Backend, cli.FormatBytes(v.Bytes), v.PeakShardEntries)
+		}
 		if res.Reduction != mcheck.RedNone {
 			fmt.Printf("            reduction %s: %d candidates pruned, %d sleep-set states, symmetry group %d\n",
 				res.Reduction, res.StatesPruned, res.SleepSetHits, res.SymmetryGroup)

@@ -261,6 +261,16 @@ func SearchRun(name string, net *topology.Network, res mcheck.SearchResult) mani
 		run.StatesPruned = res.StatesPruned
 		run.ReductionRatio = manifest.ReductionRatio(res.States, res.StatesPruned)
 	}
+	// Visited-set accounting: the backend name is recorded only when a
+	// non-default backend ran, the byte figures always (peak RSS lives at
+	// the manifest top level; this is the structure's own accounting).
+	if res.Visited.Backend != "" && res.Visited.Backend != "mem" {
+		run.VisitedBackend = res.Visited.Backend
+	}
+	run.VisitedBytes = res.Visited.Bytes
+	run.SpillBytes = res.Visited.SpillBytes
+	run.SpillRuns = res.Visited.SpillRuns
+	run.BloomFPRate = res.Visited.BloomFPRate
 	return run
 }
 
@@ -297,18 +307,26 @@ func (o *Observer) SearchProgress(name string) func(mcheck.ProgressInfo) {
 	}
 	return func(p mcheck.ProgressInfo) {
 		if stderr {
-			fmt.Fprintf(os.Stderr, "search: level %d, frontier %d, %d states, %.0f states/sec, %s\n",
-				p.Level, p.Frontier, p.States, p.StatesPerSec, p.Elapsed.Round(1e7))
+			spill := ""
+			if p.SpillBytes > 0 {
+				spill = fmt.Sprintf(" (+%s spilled)", FormatBytes(p.SpillBytes))
+			}
+			fmt.Fprintf(os.Stderr, "search: level %d, frontier %d, %d states, %.0f states/sec, visited %s%s, %s\n",
+				p.Level, p.Frontier, p.States, p.StatesPerSec, FormatBytes(p.VisitedBytes), spill, p.Elapsed.Round(1e7))
 		}
 		if live {
 			o.Publish(serve.Snapshot{
-				Source:       "search",
-				Name:         name,
-				Level:        p.Level,
-				Frontier:     p.Frontier,
-				States:       p.States,
-				StatesPerSec: int64(p.StatesPerSec),
-				ElapsedMS:    p.Elapsed.Milliseconds(),
+				Source:         "search",
+				Name:           name,
+				Level:          p.Level,
+				Frontier:       p.Frontier,
+				States:         p.States,
+				StatesPerSec:   int64(p.StatesPerSec),
+				ElapsedMS:      p.Elapsed.Milliseconds(),
+				VisitedEntries: p.VisitedEntries,
+				VisitedBytes:   p.VisitedBytes,
+				SpillBytes:     p.SpillBytes,
+				BloomFPRate:    p.BloomFPRate,
 			})
 		}
 	}

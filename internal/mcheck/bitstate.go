@@ -1,0 +1,127 @@
+package mcheck
+
+import "sync/atomic"
+
+// bloomVisited is the "bitstate" backend: a fixed-size double-hashed
+// Bloom filter in front of the exact in-memory set. The filter's only
+// power is a fast, lock-free "definitely not seen" answer — a clean miss
+// short-circuits the shard-locked exact probe that dominates duplicate
+// detection on wide frontiers. A filter hit proves nothing and is always
+// re-verified against the exact set, so unlike classical bitstate hashing
+// (Holzmann's SPIN mode, which trades soundness for memory) this mode
+// never drops or conflates states: verdicts, state counts and witnesses
+// stay byte-identical to the reference backend. The price is that the
+// exact set still holds every encoding — bitstate is a probe accelerator,
+// not a memory reducer; combine with the spill backend when memory is the
+// ceiling.
+//
+// Concurrency: the bit array is written only by insert, which the engine
+// calls exclusively from the single-threaded merge, strictly after the
+// expansion barrier (wg.Wait() in expandLevel establishes the
+// happens-before edge). Workers therefore read the bits plainly, with no
+// locks or atomics. The probe counters are the one concurrently-mutated
+// surface, so they are atomics.
+type bloomVisited struct {
+	exact *visitedSet
+	bits  []uint64
+	mask  uint64 // bit-index mask; len(bits)*64 is a power of two
+
+	probes atomic.Int64
+	hits   atomic.Int64
+	fps    atomic.Int64
+}
+
+// bloomHashes is the number of filter probes per key (k). With m/n around
+// 16 bits per state at the default filter size and typical frontiers,
+// k = 4 keeps the false-positive rate well under 1% without measurable
+// probe cost.
+const bloomHashes = 4
+
+// newBloomVisited builds the filter with the given bit count, rounded up
+// to a power of two (minimum 1<<16).
+func newBloomVisited(bits int64) *bloomVisited {
+	m := uint64(1) << 16
+	for int64(m) < bits {
+		m <<= 1
+	}
+	return &bloomVisited{
+		exact: newVisitedSet(),
+		bits:  make([]uint64, m/64),
+		mask:  m - 1,
+	}
+}
+
+// bloomSecond derives the double-hashing stride from the digest with a
+// splitmix64-style finalizer, forced odd so every probe sequence walks
+// the whole (power-of-two) table.
+func bloomSecond(h uint64) uint64 {
+	z := h + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return (z ^ (z >> 31)) | 1
+}
+
+func (v *bloomVisited) mayContain(h uint64) bool {
+	g, step := h, bloomSecond(h)
+	for i := 0; i < bloomHashes; i++ {
+		bit := g & v.mask
+		if v.bits[bit>>6]&(1<<(bit&63)) == 0 {
+			return false
+		}
+		g += step
+	}
+	return true
+}
+
+func (v *bloomVisited) setBits(h uint64) {
+	g, step := h, bloomSecond(h)
+	for i := 0; i < bloomHashes; i++ {
+		bit := g & v.mask
+		v.bits[bit>>6] |= 1 << (bit & 63)
+		g += step
+	}
+}
+
+func (v *bloomVisited) hash(enc []byte) uint64 { return v.exact.hash(enc) }
+
+func (v *bloomVisited) novel(h uint64, enc []byte, budget int) bool {
+	v.probes.Add(1)
+	if !v.mayContain(h) {
+		// Definitely-novel fast path: nothing with this digest was ever
+		// inserted, so no exact entry can match and no recorded budget can
+		// exist. Sound because insert always sets the bits before (well,
+		// atomically with respect to the phase barrier) the exact entry
+		// becomes probeable.
+		return true
+	}
+	v.hits.Add(1)
+	b, ok := v.exact.lookup(h, enc)
+	if !ok {
+		v.fps.Add(1) // filter hit, exact miss: a measured false positive
+		return true
+	}
+	return b < budget
+}
+
+func (v *bloomVisited) insert(h uint64, enc []byte, budget int) bool {
+	v.setBits(h)
+	return v.exact.insert(h, enc, budget)
+}
+
+func (v *bloomVisited) size() int { return v.exact.size() }
+
+func (v *bloomVisited) shardSizes(buf []int) []int { return v.exact.shardSizes(buf) }
+
+func (v *bloomVisited) stats(st *VisitedStats) {
+	v.exact.stats(st)
+	st.Backend = "bitstate"
+	st.Bytes += int64(len(v.bits)) * 8
+	st.BloomProbes = v.probes.Load()
+	st.BloomHits = v.hits.Load()
+	st.BloomFalsePositives = v.fps.Load()
+	if st.BloomProbes > 0 {
+		st.BloomFPRate = float64(st.BloomFalsePositives) / float64(st.BloomProbes)
+	}
+}
+
+func (v *bloomVisited) close() {}

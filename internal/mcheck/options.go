@@ -1,6 +1,7 @@
 package mcheck
 
 import (
+	"fmt"
 	"runtime"
 	"time"
 
@@ -17,6 +18,90 @@ func normalizeParallelism(n int) int {
 	return n
 }
 
+// VisitedBackend selects the deduplication structure behind a search.
+// Every backend is exact — verdicts, state counts and witnesses are
+// byte-identical across backends at any worker count; they differ only in
+// memory ceiling and constant factors. See visitedStore.
+type VisitedBackend int
+
+const (
+	// VisitedMem is the in-memory reference backend (the default): a
+	// sharded exact hash set holding every encoding on the heap.
+	VisitedMem VisitedBackend = iota
+	// VisitedBitstate puts a fixed-size double-hashed Bloom prefilter in
+	// front of the exact set. Filter misses skip the shard-locked exact
+	// probe; filter hits are always re-verified exactly, so unlike
+	// classical bitstate hashing no state is ever dropped or conflated.
+	VisitedBitstate
+	// VisitedSpill bounds resident memory: shards that outgrow their byte
+	// budget spill sorted, prefix-compressed runs to disk and are probed
+	// there via fence indexes. Combine with CompressFrontier (forced on)
+	// for a search whose resident set no longer scales with state count.
+	VisitedSpill
+)
+
+// String renders the backend the way the -visited CLI flag spells it.
+func (b VisitedBackend) String() string {
+	switch b {
+	case VisitedMem:
+		return "mem"
+	case VisitedBitstate:
+		return "bitstate"
+	case VisitedSpill:
+		return "spill"
+	}
+	return fmt.Sprintf("VisitedBackend(%d)", int(b))
+}
+
+// Defaults for VisitedConfig's zero fields.
+const (
+	// DefaultVisitedMemBudget is the spill backend's total in-memory
+	// byte budget when VisitedConfig.MemBudget is zero.
+	DefaultVisitedMemBudget = 256 << 20
+	// DefaultBloomBits sizes the bitstate filter when
+	// VisitedConfig.BloomBits is zero: 2^26 bits = 8 MiB, comfortably
+	// over 16 bits per state at DefaultMaxStates scale.
+	DefaultBloomBits = 1 << 26
+)
+
+// VisitedConfig configures the visited-set backend of a search.
+type VisitedConfig struct {
+	// Backend selects the implementation; the zero value is VisitedMem.
+	Backend VisitedBackend
+	// MemBudget caps the spill backend's resident bytes across all shards
+	// (run files and fence indexes excluded). 0 means
+	// DefaultVisitedMemBudget. Ignored by the other backends.
+	MemBudget int64
+	// BloomBits sizes the bitstate filter in bits, rounded up to a power
+	// of two. 0 means DefaultBloomBits. Ignored by the other backends.
+	BloomBits int64
+	// SpillDir is the parent directory for the spill backend's private
+	// run-file directory. "" means the system temp directory.
+	SpillDir string
+	// CompressFrontier carries BFS frontiers as delta-encoded batches of
+	// binary state encodings instead of live simulators, decoding each
+	// entry in the workers. Forced on for the spill backend (otherwise the
+	// frontier, not the visited set, is the memory ceiling) and forced off
+	// when symmetry reduction runs (canonical encodings decode to permuted
+	// representatives, which would change the traversal).
+	CompressFrontier bool
+}
+
+// normalizeVisitedConfig resolves the defaulted fields and the
+// backend-forced batching choice.
+func normalizeVisitedConfig(cfg VisitedConfig) VisitedConfig {
+	if cfg.MemBudget <= 0 {
+		cfg.MemBudget = DefaultVisitedMemBudget
+	}
+	if cfg.BloomBits <= 0 {
+		cfg.BloomBits = DefaultBloomBits
+	}
+	if cfg.Backend == VisitedSpill {
+		cfg.CompressFrontier = true
+	}
+	return cfg
+}
+
 // normalizeSearchOptions resolves every defaulted SearchOptions field and
 // applies the scenario's reduction gating, so the engine proper can read
 // the options verbatim and SearchResult can echo exactly what ran.
@@ -29,5 +114,6 @@ func normalizeSearchOptions(sc sim.Scenario, opts SearchOptions) SearchOptions {
 		opts.ProgressEvery = 2 * time.Second
 	}
 	opts.Reduction = effectiveReduction(sc, opts.Reduction)
+	opts.Visited = normalizeVisitedConfig(opts.Visited)
 	return opts
 }

@@ -121,6 +121,11 @@ type SearchOptions struct {
 	// GOMAXPROCS. The result is identical for every value; only wall
 	// time changes.
 	Parallelism int
+	// Visited configures the visited-set backend: the in-memory reference
+	// (default), the Bloom-prefiltered bitstate mode, or the disk-spilling
+	// out-of-core mode, plus compressed frontier batching. Every backend
+	// is exact; verdicts, state counts and witnesses do not depend on it.
+	Visited VisitedConfig
 	// Reduction selects verdict-preserving state-space reductions
 	// (partial-order and/or symmetry). The zero value explores the full
 	// unreduced space, byte-identical to the engine without reductions;
@@ -158,6 +163,12 @@ type ProgressInfo struct {
 	States       int // distinct states accepted so far
 	Elapsed      time.Duration
 	StatesPerSec float64
+
+	// Visited-set memory accounting, from the live backend.
+	VisitedEntries int     // distinct encodings recorded
+	VisitedBytes   int64   // resident bytes (heap; excludes spilled runs)
+	SpillBytes     int64   // bytes in on-disk run files (spill backend)
+	BloomFPRate    float64 // measured false-positive rate (bitstate backend)
 }
 
 // DefaultMaxStates bounds state exploration when SearchOptions.MaxStates
@@ -189,6 +200,10 @@ type SearchResult struct {
 	// the deduplication structure when the search ended (its memory high
 	// water mark, one entry per encoding).
 	PeakVisited int
+	// Visited is the visited-set backend's final accounting snapshot:
+	// which backend ran, resident bytes, per-shard high-water mark, and
+	// the Bloom/spill counters where applicable.
+	Visited VisitedStats
 	// Workers is the worker count the search actually ran with.
 	Workers int
 
@@ -255,9 +270,13 @@ type engine struct {
 	opts    SearchOptions
 	cfg     enumConfig        // enumeration variant; shared with rebuildTrace
 	perms   []sim.Permutation // scenario symmetries; empty = plain encoding
-	visited *visitedSet
+	visited visitedStore
+	batched bool      // frontiers travel as encoded batches, not live sims
 	pool    sync.Pool // recycled *sim.Sim successors
 	workers []*searchWorker
+
+	shardBuf []int        // reused shard-size buffer for the metrics path
+	vstats   VisitedStats // reused stats snapshot for the progress path
 }
 
 // searchWorker is the per-goroutine scratch state for frontier expansion.
@@ -265,6 +284,7 @@ type searchWorker struct {
 	eng      *engine
 	enum     *decisionEnum
 	probe    *sim.Sim // deadlock-check scratch
+	curSim   *sim.Sim // batch-entry decode scratch (batched mode only)
 	encBuf   []byte
 	canonBuf []byte // canonical-encoding scratch (symmetry reduction)
 
@@ -273,7 +293,13 @@ type searchWorker struct {
 }
 
 func newEngine(opts SearchOptions, cfg enumConfig, perms []sim.Permutation, root *sim.Sim, workers int) *engine {
-	eng := &engine{opts: opts, cfg: cfg, perms: perms, visited: newVisitedSet()}
+	eng := &engine{
+		opts:    opts,
+		cfg:     cfg,
+		perms:   perms,
+		visited: newVisitedStore(opts.Visited),
+		batched: opts.Visited.CompressFrontier,
+	}
 	eng.workers = make([]*searchWorker, workers)
 	for i := range eng.workers {
 		eng.workers[i] = &searchWorker{
@@ -281,8 +307,21 @@ func newEngine(opts SearchOptions, cfg enumConfig, perms []sim.Permutation, root
 			enum:  newDecisionEnum(root),
 			probe: root.Clone(),
 		}
+		if eng.batched {
+			eng.workers[i].curSim = root.Clone()
+		}
 	}
 	return eng
+}
+
+// fillVisited copies the backend's live accounting into a progress report.
+// Runs only on the merge goroutine (the stats contract).
+func (eng *engine) fillVisited(p *ProgressInfo) {
+	eng.visited.stats(&eng.vstats)
+	p.VisitedEntries = eng.vstats.Entries
+	p.VisitedBytes = eng.vstats.Bytes
+	p.SpillBytes = eng.vstats.SpillBytes
+	p.BloomFPRate = eng.vstats.BloomFPRate
 }
 
 // getSim returns a pooled simulator holding a deep copy of src.
@@ -351,10 +390,66 @@ func (w *searchWorker) expand(cur *frontierEntry) expandResult {
 			return true
 		}
 		enc := append([]byte(nil), w.encBuf...)
+		if w.eng.batched {
+			// Batched mode keeps only the encoding: the merge re-encodes
+			// accepted successors into the next level's batch, so the live
+			// simulator can be recycled immediately.
+			w.eng.putSim(next)
+			next = nil
+		}
 		r.succs = append(r.succs, succState{s: next, enc: enc, hash: h, budget: newBudget, dec: dec})
 		return true
 	})
 	return r
+}
+
+// expandBatch is expandLevel for an encoded frontier: workers claim
+// restart blocks, decode each entry into their scratch simulator and
+// expand it in place. Results land at the entry's batch index, so the
+// merge consumes them in exactly the order an unbatched frontier slice
+// would have.
+func (eng *engine) expandBatch(batch *frontierBatch, results []expandResult) {
+	nw := len(eng.workers)
+	if nw > batch.blocks() {
+		nw = batch.blocks()
+	}
+	if nw <= 1 {
+		w := eng.workers[0]
+		var it batchIter
+		it.seekAll(batch)
+		for it.next() {
+			if err := w.curSim.DecodeFrom(it.cur); err != nil {
+				panic(fmt.Sprintf("mcheck: internal error: frontier entry does not decode: %v", err))
+			}
+			cur := frontierEntry{s: w.curSim, budget: it.budget, node: it.node}
+			results[it.idx-1] = w.expand(&cur)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for _, w := range eng.workers[:nw] {
+		wg.Add(1)
+		go func(w *searchWorker) {
+			defer wg.Done()
+			var it batchIter
+			for {
+				bi := int(cursor.Add(1)) - 1
+				if bi >= batch.blocks() {
+					return
+				}
+				it.seekBlock(batch, bi)
+				for it.next() {
+					if err := w.curSim.DecodeFrom(it.cur); err != nil {
+						panic(fmt.Sprintf("mcheck: internal error: frontier entry does not decode: %v", err))
+					}
+					cur := frontierEntry{s: w.curSim, budget: it.budget, node: it.node}
+					results[it.idx-1] = w.expand(&cur)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 // deadlocked reports whether the state is a reachable deadlock: no flit can
@@ -445,9 +540,17 @@ func Search(sc sim.Scenario, opts SearchOptions) SearchResult {
 		}
 	}
 	cfg := enumConfig{inTransitOnly: opts.FreezeInTransitOnly, por: opts.Reduction.POR()}
+	// Frontier batching round-trips states through their encoding; under
+	// symmetry reduction the encoding is the canonical representative,
+	// which decodes to a permuted state and would change the traversal.
+	// The visited backends themselves are unaffected.
+	if len(perms) > 0 {
+		opts.Visited.CompressFrontier = false
+	}
 
 	root := newHeldSim(sc)
 	eng := newEngine(opts, cfg, perms, root, workers)
+	defer eng.visited.close()
 
 	var rootEnc, rootScratch []byte
 	if len(perms) > 0 {
@@ -486,7 +589,8 @@ func Search(sc sim.Scenario, opts SearchOptions) SearchResult {
 		if secs := r.Elapsed.Seconds(); secs > 0 {
 			r.StatesPerSec = float64(r.States) / secs
 		}
-		r.PeakVisited = eng.visited.size()
+		eng.visited.stats(&r.Visited)
+		r.PeakVisited = r.Visited.Entries
 		r.Workers = workers
 		r.Reduction = opts.Reduction
 		r.SymmetryGroup = 1 + len(perms)
@@ -512,9 +616,22 @@ func Search(sc sim.Scenario, opts SearchOptions) SearchResult {
 			opts.Metrics.Gauge("mcheck_states").Set(int64(r.States))
 			opts.Metrics.Gauge("mcheck_peak_visited").Set(int64(r.PeakVisited))
 			opts.Metrics.Gauge("mcheck_workers").Set(int64(r.Workers))
+			opts.Metrics.Gauge("mcheck_visited_bytes").Set(r.Visited.Bytes)
 			shardLoad := opts.Metrics.Histogram("mcheck_visited_shard_entries", nil)
-			for _, n := range eng.visited.shardSizes() {
+			eng.shardBuf = eng.visited.shardSizes(eng.shardBuf)
+			for _, n := range eng.shardBuf {
 				shardLoad.Observe(float64(n))
+			}
+			// Backend-specific gauges only exist when that backend ran,
+			// keeping default-backend metric snapshots identical to the
+			// historical ones.
+			if r.Visited.BloomProbes > 0 {
+				opts.Metrics.Gauge("mcheck_bloom_probes").Set(r.Visited.BloomProbes)
+				opts.Metrics.Gauge("mcheck_bloom_false_positives").Set(r.Visited.BloomFalsePositives)
+			}
+			if opts.Visited.Backend == VisitedSpill {
+				opts.Metrics.Gauge("mcheck_visited_spill_bytes").Set(r.Visited.SpillBytes)
+				opts.Metrics.Gauge("mcheck_visited_spill_runs").Set(int64(r.Visited.SpillRuns))
 			}
 			// Reduction gauges only exist when a reduction ran, keeping
 			// unreduced metric snapshots identical to the historical ones.
@@ -524,7 +641,12 @@ func Search(sc sim.Scenario, opts SearchOptions) SearchResult {
 				opts.Metrics.Gauge("mcheck_symmetry_group").Set(int64(r.SymmetryGroup))
 			}
 		}
-		emitProgress(ProgressInfo{Level: level, States: r.States, Elapsed: r.Elapsed, StatesPerSec: r.StatesPerSec})
+		p := ProgressInfo{Level: level, States: r.States, Elapsed: r.Elapsed, StatesPerSec: r.StatesPerSec}
+		p.VisitedEntries = r.Visited.Entries
+		p.VisitedBytes = r.Visited.Bytes
+		p.SpillBytes = r.Visited.SpillBytes
+		p.BloomFPRate = r.Visited.BloomFPRate
+		emitProgress(p)
 		r.Warnings = warnings
 		return r
 	}
@@ -532,20 +654,21 @@ func Search(sc sim.Scenario, opts SearchOptions) SearchResult {
 	progressEvery := opts.ProgressEvery // normalized: always positive
 	lastProgress := start
 
-	for len(frontier) > 0 {
-		// Per-level telemetry. The trace event is emitted here — before
-		// the level's merge, from this single goroutine — so the traced
-		// sequence is the same for every Parallelism value.
+	// levelTelemetry is the per-level reporting shared by both frontier
+	// representations. The trace event is emitted here — before the
+	// level's merge, from this single goroutine — so the traced sequence
+	// is the same for every Parallelism value.
+	levelTelemetry := func(frontierSize int) {
 		if opts.Tracer != nil {
 			ev := obsv.Ev(obsv.KindSearchLevel, level)
-			ev.N = len(frontier)
+			ev.N = frontierSize
 			ev.M = states
 			opts.Tracer.Event(ev)
 		}
 		if opts.Metrics != nil {
 			opts.Metrics.Gauge("mcheck_search_level").Set(int64(level))
-			opts.Metrics.Gauge("mcheck_frontier_size").Set(int64(len(frontier)))
-			opts.Metrics.Gauge("mcheck_frontier_peak").Max(int64(len(frontier)))
+			opts.Metrics.Gauge("mcheck_frontier_size").Set(int64(frontierSize))
+			opts.Metrics.Gauge("mcheck_frontier_peak").Max(int64(frontierSize))
 			opts.Metrics.Gauge("mcheck_states").Set(int64(states))
 		}
 		if opts.Progress != nil && !progressBroken {
@@ -556,9 +679,76 @@ func Search(sc sim.Scenario, opts SearchOptions) SearchResult {
 				if secs := elapsed.Seconds(); secs > 0 {
 					sps = float64(states) / secs
 				}
-				emitProgress(ProgressInfo{Level: level, Frontier: len(frontier), States: states, Elapsed: elapsed, StatesPerSec: sps})
+				p := ProgressInfo{Level: level, Frontier: frontierSize, States: states, Elapsed: elapsed, StatesPerSec: sps}
+				eng.fillVisited(&p)
+				emitProgress(p)
 			}
 		}
+	}
+
+	if eng.batched {
+		// Batched path: the frontier is a delta-encoded byte batch; the
+		// merge decodes it sequentially (same order as the slice loop
+		// below) and re-encodes accepted successors into the next batch.
+		// Verdicts, counts and witnesses are byte-identical to the
+		// unbatched path — the backend-parity tests pin this.
+		var builders [2]batchBuilder
+		cur := 0
+		builders[cur].add(rootEnc, opts.StallBudget, 0)
+		eng.putSim(root) // the batch carries no live sims; recycle the root
+		var results []expandResult
+		var it batchIter
+		for {
+			batch := &builders[cur].batch
+			if batch.count == 0 {
+				return finish(SearchResult{Verdict: VerdictNoDeadlock, States: states})
+			}
+			levelTelemetry(batch.count)
+			if cap(results) < batch.count {
+				results = make([]expandResult, batch.count)
+			}
+			results = results[:batch.count]
+			eng.expandBatch(batch, results)
+			nxt := 1 - cur
+			builders[nxt].reset()
+			it.seekAll(batch)
+			for it.next() {
+				res := &results[it.idx-1]
+				if res.delivered {
+					continue
+				}
+				if res.deadlocked {
+					// The batch entry decodes to the deadlocked state, but
+					// its wall clock and fault anchors are relative; replay
+					// the witness trace instead so waitfor sees the state
+					// exactly as the unbatched engine would.
+					trace := rebuildTrace(sc, nodes, it.node, opts, cfg)
+					return finish(SearchResult{
+						Verdict:  VerdictDeadlock,
+						States:   states,
+						Trace:    trace,
+						Deadlock: waitfor.Find(Replay(sc, trace)),
+					})
+				}
+				for _, su := range res.succs {
+					if !eng.visited.insert(su.hash, su.enc, su.budget) {
+						continue
+					}
+					states++
+					if states > maxStates {
+						return finish(SearchResult{Verdict: VerdictExhausted, States: states})
+					}
+					nodes = append(nodes, provNode{parent: it.node, dec: su.dec})
+					builders[nxt].add(su.enc, su.budget, int32(len(nodes)-1))
+				}
+			}
+			cur = nxt
+			level++
+		}
+	}
+
+	for len(frontier) > 0 {
+		levelTelemetry(len(frontier))
 
 		results := make([]expandResult, len(frontier))
 		eng.expandLevel(frontier, results)

@@ -11,9 +11,86 @@ import (
 // far more workers than GOMAXPROCS will reasonably be.
 const visitedShards = 64
 
-// visitedSet is the search's deduplication structure: a sharded hash map
-// from a 64-bit maphash digest of a state's binary encoding to the best
-// stall budget the state has been reached with. Each entry keeps the full
+// visitedEntryOverhead approximates the resident cost of one entry beyond
+// its encoding bytes: the entry struct (slice header + budget + chain
+// link) plus the amortized shard-index slot. Accounting, not allocation —
+// it only feeds the memory budget and the stats surface.
+const visitedEntryOverhead = 48
+
+// visitedStore is the deduplication structure behind the search engines,
+// pluggable via SearchOptions.Visited. Every backend is exact: novel and
+// insert answer precisely the same questions as the in-memory reference
+// (collisions verified against full encodings, budgets compared with the
+// same monotone rule), so verdicts, state counts and witnesses are
+// byte-identical across backends. Backends differ only in where encodings
+// reside (heap, Bloom-prefiltered heap, or disk runs) and therefore in
+// memory ceiling and constant factors.
+//
+// Concurrency contract (inherited from the engine): novel may be called
+// from many workers concurrently, but insert, stats, shardSizes, size and
+// close only ever run on the single merge goroutine, strictly between
+// expansion phases. Backends exploit this phase separation (e.g. the
+// Bloom bit array takes no locks).
+type visitedStore interface {
+	// hash digests an encoding. Digests are only meaningful within one
+	// search (the seed is per-store), which is all the visited set needs.
+	hash(enc []byte) uint64
+	// novel reports whether visiting the state (enc, budget) could still
+	// reach anything new: the state is unseen, or was only seen with a
+	// strictly smaller stall budget. Safe for concurrent use.
+	novel(h uint64, enc []byte, budget int) bool
+	// insert records (enc, budget) and reports whether it was new in the
+	// novel sense — exactly the condition under which the search counts a
+	// state and enqueues it.
+	insert(h uint64, enc []byte, budget int) bool
+	// size returns the number of distinct state encodings recorded.
+	size() int
+	// shardSizes fills buf (growing it if needed) with the distinct-entry
+	// count of every shard, in shard order, and returns it. The caller
+	// owns buf across calls, so the hot progress path never allocates.
+	shardSizes(buf []int) []int
+	// stats fills st with the store's accounting snapshot.
+	stats(st *VisitedStats)
+	// close releases backend resources (spill files). The store is
+	// unusable afterwards.
+	close()
+}
+
+// VisitedStats is the memory-accounting snapshot of a visited-set
+// backend, surfaced in SearchResult, obsv gauges and the live /progress
+// stream.
+type VisitedStats struct {
+	// Backend names the store that ran: "mem", "bitstate", "spill".
+	Backend string
+	// Entries is the number of distinct state encodings recorded.
+	Entries int
+	// Bytes is the store's resident memory: encodings + per-entry
+	// overhead, plus the Bloom bit array and spill fence indexes where
+	// applicable. Spilled run bytes live on disk and are NOT included.
+	Bytes int64
+	// PeakShardEntries is the largest per-shard distinct-entry count (the
+	// high-water mark; entries are never removed, so peak = current max).
+	PeakShardEntries int
+
+	// Bloom prefilter accounting (bitstate backend only). A false
+	// positive is a filter hit whose exact re-check finds no matching
+	// encoding — the case the exact recheck exists for.
+	BloomProbes         int64
+	BloomHits           int64
+	BloomFalsePositives int64
+	// BloomFPRate is BloomFalsePositives / BloomProbes (0 when unused).
+	BloomFPRate float64
+
+	// Spill accounting (spill backend only).
+	SpillBytes     int64 // bytes currently in on-disk run files
+	SpillRuns      int   // run files currently live
+	SpilledEntries int64 // entries currently residing in runs
+	Compactions    int   // run-compaction passes performed
+}
+
+// visitedSet is the in-memory reference backend: a sharded hash map from
+// a 64-bit maphash digest of a state's binary encoding to the best stall
+// budget the state has been reached with. Each entry keeps the full
 // encoding bytes as a collision-verification slot — two distinct states
 // that collide on the 64-bit digest are chained, never conflated, so the
 // search stays exact. Shards are guarded by striped RW mutexes: the
@@ -29,6 +106,7 @@ type visitedShard struct {
 	// index maps a digest to the head of its entry chain.
 	index   map[uint64]int32
 	entries []visitedEntry
+	bytes   int64 // encodings + visitedEntryOverhead per entry
 }
 
 // visitedEntry records one distinct state encoding.
@@ -46,17 +124,14 @@ func newVisitedSet() *visitedSet {
 	return v
 }
 
-// hash digests an encoding. Digests are only meaningful within one search
-// (the seed is per-set), which is all the visited set needs.
 func (v *visitedSet) hash(enc []byte) uint64 {
 	return maphash.Bytes(v.seed, enc)
 }
 
-// novel reports whether visiting the state (enc, budget) could still reach
-// anything new: the state is unseen, or was only seen with a strictly
-// smaller stall budget. Safe for concurrent use; the expansion workers use
-// it to discard duplicate successors before paying for their retention.
-func (v *visitedSet) novel(h uint64, enc []byte, budget int) bool {
+// lookup returns the recorded budget for (h, enc), reporting whether the
+// encoding is present at all. Callers hold no lock; lookup takes the
+// shard read lock itself.
+func (v *visitedSet) lookup(h uint64, enc []byte) (int, bool) {
 	sh := &v.shards[h&(visitedShards-1)]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
@@ -64,19 +139,23 @@ func (v *visitedSet) novel(h uint64, enc []byte, budget int) bool {
 	for ok && i >= 0 {
 		e := &sh.entries[i]
 		if bytes.Equal(e.enc, enc) {
-			return int(e.budget) < budget
+			return int(e.budget), true
 		}
 		i = e.next
 	}
-	return true
+	return 0, false
 }
 
-// insert records (enc, budget) and reports whether it was new in the novel
-// sense — exactly the condition under which the search counts a state and
-// enqueues it. Reached-again states with a larger budget update in place
-// (and still count: they can reach successors the smaller budget could
-// not). Only the per-level merge calls insert, so insertion order — and
-// with it every verdict, count and witness — is deterministic.
+func (v *visitedSet) novel(h uint64, enc []byte, budget int) bool {
+	b, ok := v.lookup(h, enc)
+	return !ok || b < budget
+}
+
+// insert records (enc, budget): reached-again states with a larger budget
+// update in place (and still count as new: they can reach successors the
+// smaller budget could not). Only the per-level merge calls insert, so
+// insertion order — and with it every verdict, count and witness — is
+// deterministic.
 func (v *visitedSet) insert(h uint64, enc []byte, budget int) bool {
 	sh := &v.shards[h&(visitedShards-1)]
 	sh.mu.Lock()
@@ -99,24 +178,24 @@ func (v *visitedSet) insert(h uint64, enc []byte, budget int) bool {
 	}
 	sh.entries = append(sh.entries, visitedEntry{enc: enc, budget: int32(budget), next: head})
 	sh.index[h] = int32(len(sh.entries) - 1)
+	sh.bytes += int64(len(enc)) + visitedEntryOverhead
 	return true
 }
 
-// shardSizes returns the entry count of every shard, in shard order. The
-// metrics layer exports it as a load histogram: a healthy maphash spread
-// keeps the shards within a small factor of each other.
-func (v *visitedSet) shardSizes() []int {
-	sizes := make([]int, visitedShards)
+// shardSizes reports the entry count of every shard into the caller's
+// buffer. The metrics layer exports it as a load histogram: a healthy
+// maphash spread keeps the shards within a small factor of each other.
+func (v *visitedSet) shardSizes(buf []int) []int {
+	buf = sizeBuf(buf)
 	for i := range v.shards {
 		sh := &v.shards[i]
 		sh.mu.RLock()
-		sizes[i] = len(sh.entries)
+		buf[i] = len(sh.entries)
 		sh.mu.RUnlock()
 	}
-	return sizes
+	return buf
 }
 
-// size returns the number of distinct state encodings recorded.
 func (v *visitedSet) size() int {
 	n := 0
 	for i := range v.shards {
@@ -126,4 +205,42 @@ func (v *visitedSet) size() int {
 		sh.mu.RUnlock()
 	}
 	return n
+}
+
+func (v *visitedSet) stats(st *VisitedStats) {
+	*st = VisitedStats{Backend: "mem"}
+	for i := range v.shards {
+		sh := &v.shards[i]
+		sh.mu.RLock()
+		n := len(sh.entries)
+		st.Entries += n
+		st.Bytes += sh.bytes
+		if n > st.PeakShardEntries {
+			st.PeakShardEntries = n
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+func (v *visitedSet) close() {}
+
+// sizeBuf resizes a shard-size buffer to exactly visitedShards slots,
+// reusing its backing array when capacity allows.
+func sizeBuf(buf []int) []int {
+	if cap(buf) < visitedShards {
+		return make([]int, visitedShards)
+	}
+	return buf[:visitedShards]
+}
+
+// newVisitedStore builds the backend a normalized VisitedConfig selects.
+func newVisitedStore(cfg VisitedConfig) visitedStore {
+	switch cfg.Backend {
+	case VisitedBitstate:
+		return newBloomVisited(cfg.BloomBits)
+	case VisitedSpill:
+		return newSpillVisited(cfg)
+	default:
+		return newVisitedSet()
+	}
 }

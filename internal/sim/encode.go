@@ -1,6 +1,11 @@
 package sim
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/topology"
+)
 
 // EncodeTo appends a compact, canonical binary encoding of the mutable
 // simulation state to *dst. It captures exactly the same state as Encode —
@@ -26,6 +31,19 @@ import "encoding/binary"
 // The message count and each message's oblivious path are fixed for the
 // lifetime of a Sim, so they are deliberately not encoded; encodings are
 // only comparable between Sims instantiated from the same scenario.
+//
+// Stability contract: this format is a storage and wire format, not just
+// a dedup key. The out-of-core search layer persists encodings in spill
+// runs and frontier batches and reconstructs simulators from them with
+// DecodeFrom, and the planned coordinator/worker split exchanges them
+// between processes. Changing the field set, the field order, or the
+// varint framing is therefore a breaking change to every consumer that
+// round-trips states; extend only by appending and keep DecodeFrom, the
+// spill-run reader and the frontier-batch codec in lockstep. Everything
+// deliberately NOT captured here (wall-clock cycle, arbitration waiting
+// times, delivery statistics, retry counters, per-cycle masks) must stay
+// behaviorally irrelevant under StepWithPicks-driven exploration — that
+// invariant is what makes decode-and-continue exact.
 func (s *Sim) EncodeTo(dst *[]byte) {
 	b := *dst
 	for i := range s.msgs {
@@ -73,4 +91,183 @@ func (s *Sim) EncodeTo(dst *[]byte) {
 		}
 	}
 	*dst = b
+}
+
+// DecodeFrom overwrites s's mutable state with the state enc describes,
+// inverting EncodeTo. s must carry the same message set the encoding was
+// produced from (same scenario, same Add order) — the encoding holds no
+// specs, so only per-message progress is restored. All derived state is
+// reconstructed: channel ownership from each worm's flit occupancy and
+// release rule, the active working set, live/dropped counters, and
+// time-relative channel outages re-anchored at cycle zero. Quantities the
+// encoding deliberately omits are reset to neutral values (waiting times
+// cleared, masks to None, statistics zeroed); they never influence
+// behaviour under explicit-pick stepping, which is what makes a decoded
+// state an exact substitute for the one that was encoded: stepping both
+// with identical choice sequences yields identical encodings forever.
+//
+// The out-of-core search uses this to carry frontiers as compact byte
+// batches instead of live simulators; it is equally the deserialization
+// half of the future coordinator/worker wire protocol.
+func (s *Sim) DecodeFrom(enc []byte) error {
+	pos := 0
+	next := func() (int, error) {
+		v, n := binary.Uvarint(enc[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("sim: DecodeFrom: truncated varint at offset %d", pos)
+		}
+		pos += n
+		return int(v), nil
+	}
+
+	s.now = 0
+	for i := range s.owner {
+		s.owner[i] = -1
+	}
+	for i := range s.downUntil {
+		s.downUntil[i] = 0
+	}
+	for len(s.waitingSince) < len(s.msgs) {
+		s.waitingSince = append(s.waitingSince, -1)
+	}
+	for i := range s.waitingSince {
+		s.waitingSince[i] = -1
+	}
+	s.lastMoved = false
+	s.lastThawed = false
+	s.active = s.active[:0]
+	s.liveCount = 0
+	s.droppedCount = 0
+	var consumedTotal int64
+
+	for i := range s.msgs {
+		m := &s.msgs[i]
+		injected, err := next()
+		if err != nil {
+			return err
+		}
+		consumed, err := next()
+		if err != nil {
+			return err
+		}
+		frozen, err := next()
+		if err != nil {
+			return err
+		}
+		if pos >= len(enc) {
+			return fmt.Errorf("sim: DecodeFrom: truncated flags for message %d", i)
+		}
+		flags := enc[pos]
+		pos++
+		nq, err := next()
+		if err != nil {
+			return err
+		}
+		if !m.adaptive() && nq != len(m.path) {
+			return fmt.Errorf("sim: DecodeFrom: message %d has %d queue slots, encoding has %d", i, len(m.path), nq)
+		}
+		m.queued = m.queued[:0]
+		flits := 0
+		for j := 0; j < nq; j++ {
+			q, err := next()
+			if err != nil {
+				return err
+			}
+			m.queued = append(m.queued, q)
+			flits += q
+		}
+		if m.adaptive() {
+			np, err := next()
+			if err != nil {
+				return err
+			}
+			if np != nq {
+				return fmt.Errorf("sim: DecodeFrom: adaptive message %d path length %d != queue length %d", i, np, nq)
+			}
+			m.path = m.path[:0]
+			for j := 0; j < np; j++ {
+				c, err := next()
+				if err != nil {
+					return err
+				}
+				if c >= s.net.NumChannels() {
+					return fmt.Errorf("sim: DecodeFrom: adaptive message %d path channel %d out of range", i, c)
+				}
+				m.path = append(m.path, topology.ChannelID(c))
+			}
+		}
+		m.injected = injected
+		m.consumed = consumed
+		m.frozen = frozen
+		m.held = flags&1 != 0
+		m.headerConsumed = flags&2 != 0
+		m.dropped = flags&4 != 0
+		m.mask = topology.None
+		m.retries = 0
+		m.injectedAt = -1
+		if m.injected > 0 {
+			m.injectedAt = 0
+		}
+		m.deliveredAt = -1
+		if m.delivered() {
+			m.deliveredAt = 0
+		}
+		if !m.dropped && flits != m.injected-m.consumed {
+			return fmt.Errorf("sim: DecodeFrom: message %d buffers %d flits, injected-consumed is %d",
+				i, flits, m.injected-m.consumed)
+		}
+		if m.dropped {
+			s.droppedCount++
+		}
+		if !m.terminal() {
+			s.liveCount++
+		}
+		if !m.terminal() || m.frozen > 0 {
+			s.active = append(s.active, int32(i)) // message IDs ascend, so active stays sorted
+		}
+		consumedTotal += int64(consumed)
+
+		// Channel ownership: the worm holds every channel its header has
+		// entered (all of them once the header reached the sink) except
+		// those its tail has fully departed — queue empty with no flit, at
+		// the source or in an earlier channel, still behind (the release
+		// rule in moveMessage/noTailBehind).
+		if m.dropped || m.injected == 0 {
+			continue
+		}
+		hi := len(m.path) - 1
+		if !m.headerConsumed {
+			hi = m.headIdx()
+		}
+		behind := m.injected < m.spec.Length
+		for j := 0; j <= hi; j++ {
+			if m.queued[j] != 0 || behind {
+				s.owner[m.path[j]] = m.id
+			}
+			if m.queued[j] != 0 {
+				behind = true
+			}
+		}
+	}
+	s.flitsConsumed = consumedTotal
+
+	for pos < len(enc) {
+		c, err := next()
+		if err != nil {
+			return err
+		}
+		if c == 0 || c > s.net.NumChannels() {
+			return fmt.Errorf("sim: DecodeFrom: down-channel id %d out of range", c-1)
+		}
+		rem, err := next()
+		if err != nil {
+			return err
+		}
+		if rem == 0 {
+			s.downUntil[c-1] = DownForever
+		} else {
+			s.downUntil[c-1] = rem
+		}
+	}
+	return nil
 }
