@@ -73,6 +73,50 @@ func TestStepTelemetryZeroAllocSteadyState(t *testing.T) {
 	}
 }
 
+// TestStepAdaptiveTelemetryZeroAllocSteadyState pins the adaptive-stride
+// sampled hot path — stride adaptation in FinishSample plus the
+// delta-compressed window appends and their whole-block evictions — at
+// the same 0 allocs/op as the fixed-stride path. The window budget is
+// tiny so the warmup drives it past its first eviction; the measured
+// region then exercises free-list buffer recycling, not first-touch
+// growth.
+func TestStepAdaptiveTelemetryZeroAllocSteadyState(t *testing.T) {
+	// Conflict-free row-parallel worms: each stays in its own mesh row
+	// under DOR, so no sample ever sees a blocked dependency and the
+	// quiet-streak backoff actually fires (cross traffic would pin the
+	// stride at its base).
+	g := topology.NewMesh([]int{16, 16}, 1)
+	alg := routing.DimensionOrder(g)
+	s := sim.New(g.Network, sim.Config{})
+	for i := 0; i < 4; i++ {
+		src := g.NodeAt([]int{4 * i, 0})
+		dst := g.NodeAt([]int{4 * i, 15})
+		s.MustAdd(sim.MessageSpec{Src: src, Dst: dst, Length: 8192, Path: alg.Path(src, dst)})
+	}
+	col := telemetry.NewCollector(s.Network().NumChannels(), telemetry.Config{
+		Stride: 1, FrameEvery: 2, Ring: 4,
+		Adaptive: true, MaxStride: 4, WindowBytes: 2 << 10,
+	})
+	s.SetTelemetry(col)
+	for i := 0; i < 2000; i++ {
+		s.Step()
+	}
+	if st := col.Window().Stats(); st.Dropped == 0 {
+		t.Fatalf("warmup never evicted a window block (%+v); the guard would miss the recycling path", st)
+	}
+	if col.CurrentStride() <= col.Stride() {
+		t.Fatalf("stride never adapted (still %d); the guard would measure the fixed-stride path", col.CurrentStride())
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		s.Step()
+	}); n != 0 {
+		t.Fatalf("adaptive sampled Step allocates %v allocs/op; adaptation and the window must stay on fixed arrays", n)
+	}
+	if s.AllTerminal() {
+		t.Fatal("test bug: traffic drained before the measurement ended")
+	}
+}
+
 // TestPooledRunZeroAllocSteadyState pins the full pooled cycle the search
 // engine and traffic sweeps rely on: CopyFrom a prototype and Run to
 // completion, allocation-free once the pool instance is warm.

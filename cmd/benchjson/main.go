@@ -317,6 +317,53 @@ func main() {
 			Backend:   mcheck.VisitedSpill,
 			MemBudget: 64 << 10,
 		}}, mcheck.VerdictNoDeadlock))
+	// E11: the long-horizon telemetry campaign — one collector fed for the
+	// whole benchmark on a monotone cycle clock, with adaptive stride and
+	// a delta-compressed window attached. One op is one closed frame:
+	// FrameEvery samples filled with a drifting hot-set (the window's
+	// worst common case: mostly-small deltas with occasional channel-set
+	// churn), the adapt step, the frame close, and the window append —
+	// cycling through whole-block evictions once warm. The row prices the
+	// long-horizon plane itself and must stay at 0 allocs/op.
+	add(plainEntry("E11_TelemetryLongHorizon", func(b *testing.B) {
+		const (
+			channels = 1024 // 16x16 mesh scale
+			perFrame = 4
+			hotSet   = 8
+		)
+		col := telemetry.NewCollector(channels, telemetry.Config{
+			Stride: 4, FrameEvery: perFrame, Ring: 8,
+			Adaptive: true, MaxStride: 32, WindowBytes: 8 << 10,
+		})
+		cycle, flits := 0, int64(0)
+		frame := func(i int) {
+			for s := 0; s < perFrame; s++ {
+				busy, occ, _ := col.Accum()
+				for h := 0; h < hotSet; h++ {
+					c := (i*7 + h*131) % channels
+					busy[c]++
+					occ[c] += 3
+				}
+				flits += 16
+				cycle += col.CurrentStride()
+				col.FinishSample(cycle, flits, hotSet)
+			}
+		}
+		for i := 0; i < 400; i++ { // warm past the first block evictions
+			frame(i)
+		}
+		if col.Window().Stats().Dropped == 0 {
+			fail("E11: window never evicted during warmup")
+		}
+		if col.CurrentStride() <= col.Stride() {
+			fail("E11: stride never adapted during warmup")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			frame(i)
+		}
+	}))
 	// Encoder microbench: EncodeTo on a mid-flight state.
 	add(plainEntry("EncodeTo", func(b *testing.B) {
 		s := papernets.Figure1().Scenario.NewSim()

@@ -74,6 +74,9 @@ type point struct {
 	// Telemetry summarizes the point's channel telemetry when -telemetry
 	// or -flight-recorder is on.
 	Telemetry *telemetry.Summary `json:"telemetry,omitempty"`
+	// SLO is the per-source latency-SLO evaluation for this rate cell,
+	// present with -slo.
+	SLO *telemetry.SLOReport `json:"slo,omitempty"`
 }
 
 // curve is the whole JSON artifact.
@@ -88,6 +91,7 @@ type curve struct {
 	Measure        int     `json:"measure_cycles"`
 	Drain          int     `json:"drain_cycles"`
 	Seed           int64   `json:"seed"`
+	SLOSpec        string  `json:"slo_spec,omitempty"`
 	SaturationRate float64 `json:"saturation_rate,omitempty"`
 	Points         []point `json:"points"`
 }
@@ -111,6 +115,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "base seed; point i runs with a seed derived from (seed, i)")
 		workers   = flag.Int("workers", 1, "rate points computed in parallel (output is identical for any value)")
 		perSource = flag.Bool("persource", false, "include the per-source accepted-flit series in each point")
+		sloSpec   = flag.String("slo", "", "latency SLOs evaluated per rate cell against per-source sketches, e.g. \"p99<=500\" or \"p50<=120,p99<=800\"")
 		outPath   = flag.String("o", "", "write the JSON curve here (default stdout)")
 	)
 	obsvF := cli.RegisterObsvFlags()
@@ -142,6 +147,12 @@ func main() {
 	}
 	// Resolve once so a bad process name fails before the sweep.
 	factoryFor(grid_[0])
+	var sloObjs []telemetry.SLOObjective
+	if *sloSpec != "" {
+		if sloObjs, err = telemetry.ParseSLO(*sloSpec); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	name := fmt.Sprintf("loadtest %s %s %s", net.Name(), a.Name(), *pattern)
 	obs, err := obsvF.Open(name, cli.ChannelLanes(net))
@@ -175,6 +186,9 @@ func main() {
 			if rec != nil {
 				l.Tracer = rec
 			}
+			if sloObjs != nil {
+				l.Bank = telemetry.NewBank(net.NumNodes())
+			}
 			r, err := l.Run()
 			if err != nil {
 				errs[i] = err
@@ -200,6 +214,13 @@ func main() {
 				p.SourceAccepted = r.SourceAccepted
 			}
 			p.Telemetry = cli.TelemetrySummary(col, r.Latency)
+			if sloObjs != nil {
+				p.SLO = l.Bank.Evaluate(sloObjs)
+				if rec != nil {
+					rec.SetSLO(p.SLO.AppendJSON(nil))
+				}
+				obs.PublishSLO(p.SLO)
+			}
 			// Saturated: the network deadlocked, or it accepted measurably
 			// less than was actually offered during the window (the source
 			// queues grow without bound past saturation).
@@ -231,7 +252,8 @@ func main() {
 		Network: net.Name(), Routing: a.Name(), Pattern: *pattern, Arrivals: *arrivals,
 		Length: *length, BufferDepth: *depth,
 		Warmup: *warmup, Measure: *measure, Drain: *drain, Seed: *seed,
-		Points: points,
+		SLOSpec: *sloSpec,
+		Points:  points,
 	}
 	for _, p := range points {
 		if p.Saturated {
@@ -257,6 +279,15 @@ func main() {
 	if c.SaturationRate > 0 {
 		verdict = fmt.Sprintf("saturates at %.3g", c.SaturationRate)
 	}
+	sloViolations := 0
+	for _, p := range points {
+		if p.SLO != nil {
+			sloViolations += p.SLO.Violations
+		}
+	}
+	if sloObjs != nil && sloViolations > 0 {
+		verdict += fmt.Sprintf(", %d SLO violation(s)", sloViolations)
+	}
 	obs.Publish(serve.Snapshot{
 		Source: "loadtest", Name: name, Done: true, Verdict: verdict,
 	})
@@ -266,10 +297,11 @@ func main() {
 	// The manifest carries the telemetry of the most interesting point:
 	// the saturation point when one exists, else the highest rate swept.
 	for _, p := range points {
-		if p.Telemetry == nil {
+		if p.Telemetry == nil && p.SLO == nil {
 			continue
 		}
 		run.Telemetry = p.Telemetry
+		run.SLO = p.SLO
 		if p.Saturated {
 			break
 		}

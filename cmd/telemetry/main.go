@@ -1,0 +1,105 @@
+// Command telemetry works with dumped flight bundles offline. Its
+// replay subcommand re-renders a bundle's artifacts — per-frame heatmap
+// animation, wait-for DOT, campaign timeline, and a summary JSON —
+// without re-running the simulation: everything is derived from the
+// bundle bytes alone, so replaying the same bundle twice yields
+// byte-identical output, and replaying on a different machine yields the
+// same bytes as the original run's recorder.
+//
+// Examples:
+//
+//	telemetry replay -bundle flight/           # writes flight/replay/
+//	telemetry replay -bundle flight/flight.jsonl -out rendered/
+//
+// Exit status: 0 on success, 1 on a malformed bundle or I/O error; with
+// -check-slo, 4 when the bundle's SLO report carries violations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/obsv/telemetry"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: telemetry replay -bundle <dir|flight.jsonl> [-out <dir>] [-check-slo]\n")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "replay":
+		fs := flag.NewFlagSet("replay", flag.ExitOnError)
+		bundle := fs.String("bundle", "", "flight bundle directory or flight.jsonl path")
+		out := fs.String("out", "", "output directory (default: <bundle dir>/replay)")
+		checkSLO := fs.Bool("check-slo", false, "exit 4 when the bundle's SLO report has violations")
+		fs.Parse(os.Args[2:])
+		if *bundle == "" {
+			usage()
+		}
+		code, err := replay(*bundle, *out, *checkSLO)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		os.Exit(code)
+	default:
+		usage()
+	}
+}
+
+// replay parses the bundle at path (a directory holding flight.jsonl or
+// the file itself) and writes the re-rendered artifacts into out. It
+// returns the process exit code.
+func replay(path, out string, checkSLO bool) (int, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	dir := filepath.Dir(path)
+	if st.IsDir() {
+		dir = path
+		path = filepath.Join(path, "flight.jsonl")
+	}
+	if out == "" {
+		out = filepath.Join(dir, "replay")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	b, err := telemetry.ParseBundle(f)
+	f.Close()
+	if err != nil {
+		return 0, err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return 0, err
+	}
+	artifacts := []struct {
+		name string
+		data []byte
+	}{
+		{"summary.json", b.RenderSummary()},
+		{"waitfor.dot", b.RenderDOT()},
+		{"heatmap.svg", b.RenderHeatmap()},
+		{"heatmap_anim.svg", b.RenderHeatmapAnim()},
+		{"timeline.svg", b.RenderTimeline()},
+	}
+	for _, a := range artifacts {
+		if err := os.WriteFile(filepath.Join(out, a.name), a.data, 0o644); err != nil {
+			return 0, err
+		}
+	}
+	os.Stdout.Write(b.RenderSummary())
+	if checkSLO && b.SLO != nil && !b.SLO.OK() {
+		return 4, nil
+	}
+	return 0, nil
+}

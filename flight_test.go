@@ -150,3 +150,47 @@ func TestTelemetryFramesDeterministic(t *testing.T) {
 		t.Fatalf("frame streams differ:\n%s\n---\n%s", a, b)
 	}
 }
+
+// TestTelemetryAdaptiveFramesDeterministic extends the frame-stream pin
+// to adaptive sampling: the stride schedule is a pure function of
+// sampled logical state, so two identical runs must publish
+// byte-identical streams even while the stride itself moves — and the
+// stream must record that movement (a trajectory that never leaves the
+// base stride would mean the adaptive path went unexercised).
+func TestTelemetryAdaptiveFramesDeterministic(t *testing.T) {
+	drive := func() ([]byte, map[int]bool) {
+		pn := papernets.Figure1()
+		s := pn.Scenario.NewSim()
+		col := telemetry.NewCollector(pn.Network.NumChannels(), telemetry.Config{
+			Stride: 1, FrameEvery: 4, Ring: 8,
+			Adaptive: true, MaxStride: 8, WindowBytes: 16 << 10,
+		})
+		var out []byte
+		strides := make(map[int]bool)
+		col.OnFrame = func(f *telemetry.Frame) {
+			strides[f.Stride] = true
+			out = f.AppendJSON(out)
+			out = append(out, '\n')
+		}
+		s.SetTelemetry(col)
+		if res := s.Run(10_000); res.Result != sim.ResultDelivered {
+			t.Fatalf("figure1 must deliver, got %s", res.Result)
+		}
+		col.Flush()
+		return out, strides
+	}
+	a, stridesA := drive()
+	b, _ := drive()
+	if len(a) == 0 {
+		t.Fatal("no frames published")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("adaptive frame streams differ:\n%s\n---\n%s", a, b)
+	}
+	if len(stridesA) < 2 {
+		t.Fatalf("stride never moved (trajectory %v); the adaptive policy went unexercised", stridesA)
+	}
+	if !bytes.Contains(a, []byte(`"stride":`)) {
+		t.Fatal("frame JSON does not record the stride trajectory")
+	}
+}

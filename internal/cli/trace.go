@@ -22,15 +22,18 @@ import (
 // trio -serve, -profile, -manifest. Register them with RegisterObsvFlags
 // before flag.Parse, then Open an Observer.
 type ObsvFlags struct {
-	Trace          *string
-	TraceFormat    *string
-	Metrics        *string
-	Progress       *bool
-	Serve          *string
-	Profile        *string
-	Manifest       *string
-	Telemetry      *int
-	FlightRecorder *string
+	Trace             *string
+	TraceFormat       *string
+	Metrics           *string
+	Progress          *bool
+	Serve             *string
+	Profile           *string
+	Manifest          *string
+	Telemetry         *int
+	TelemetryAdaptive *bool
+	TelemetryMax      *int
+	TelemetryWindow   *string
+	FlightRecorder    *string
 }
 
 // RegisterObsvFlags registers the shared observability flags on the
@@ -46,6 +49,12 @@ func RegisterObsvFlags() *ObsvFlags {
 		Manifest:    flag.String("manifest", "", "write a run-manifest JSON (command, flags, verdicts, timings, peak RSS) to this file"),
 		Telemetry: flag.Int("telemetry", 0,
 			"sample per-channel telemetry every N cycles (0 = off; implied at stride 64 by -flight-recorder)"),
+		TelemetryAdaptive: flag.Bool("telemetry-adaptive", false,
+			"adapt the telemetry stride to load: back off geometrically while the network is quiet, tighten to the base stride near saturation (deterministic)"),
+		TelemetryMax: flag.Int("telemetry-max-stride", 0,
+			"cap for the adaptive telemetry stride (0 = 16x the base stride)"),
+		TelemetryWindow: flag.String("telemetry-window", "",
+			"retain a delta-compressed long-horizon frame window under this byte budget (e.g. 256K, 4M); flight bundles then carry the whole window instead of the 64-frame ring"),
 		FlightRecorder: flag.String("flight-recorder", "",
 			"write a flight-recorder dump (telemetry frames, recent events, wait-for DOT, congestion heatmap) into this directory when the run deadlocks, fails liveness, or saturates"),
 	}
@@ -77,8 +86,13 @@ type Observer struct {
 	// TelemetryStride is the -telemetry sampling stride (0 when off);
 	// FlightDir the -flight-recorder dump directory ("" when off). Build
 	// per-run collectors/recorders from them with NewTelemetry.
-	TelemetryStride int
-	FlightDir       string
+	// TelemetryAdaptive / TelemetryMaxStride / TelemetryWindowBytes carry
+	// the long-horizon knobs into those collectors.
+	TelemetryStride      int
+	TelemetryAdaptive    bool
+	TelemetryMaxStride   int
+	TelemetryWindowBytes int
+	FlightDir            string
 
 	progress    bool
 	profiler    *manifest.Profiler
@@ -112,7 +126,20 @@ func traceFormat(format, path string) (string, error) {
 // The caller must Close the observer to flush the trace and write the
 // metrics snapshot.
 func (f *ObsvFlags) Open(name string, lanes []string) (*Observer, error) {
-	o := &Observer{progress: *f.Progress, TelemetryStride: *f.Telemetry, FlightDir: *f.FlightRecorder}
+	o := &Observer{
+		progress:           *f.Progress,
+		TelemetryStride:    *f.Telemetry,
+		TelemetryAdaptive:  *f.TelemetryAdaptive,
+		TelemetryMaxStride: *f.TelemetryMax,
+		FlightDir:          *f.FlightRecorder,
+	}
+	if *f.TelemetryWindow != "" {
+		wb, err := ParseByteSize(*f.TelemetryWindow)
+		if err != nil {
+			return nil, fmt.Errorf("cli: -telemetry-window: %w", err)
+		}
+		o.TelemetryWindowBytes = int(wb)
+	}
 	var tracers obsv.Multi
 	if *f.Metrics != "" || *f.Serve != "" {
 		// -serve needs a live registry for /metrics even when no snapshot
@@ -368,7 +395,12 @@ func (o *Observer) NewTelemetry(net *topology.Network) (*telemetry.Collector, *t
 	if o == nil || (o.TelemetryStride <= 0 && o.FlightDir == "") {
 		return nil, nil
 	}
-	col := telemetry.NewCollector(net.NumChannels(), telemetry.Config{Stride: o.TelemetryStride})
+	col := telemetry.NewCollector(net.NumChannels(), telemetry.Config{
+		Stride:      o.TelemetryStride,
+		Adaptive:    o.TelemetryAdaptive,
+		MaxStride:   o.TelemetryMaxStride,
+		WindowBytes: o.TelemetryWindowBytes,
+	})
 	if o.Server != nil || o.Metrics != nil {
 		srv, reg := o.Server, o.Metrics
 		var buf []byte
@@ -389,6 +421,16 @@ func (o *Observer) NewTelemetry(net *topology.Network) (*telemetry.Collector, *t
 		rec = telemetry.NewFlightRecorder(net, 0, col)
 	}
 	return col, rec
+}
+
+// PublishSLO renders the report and sends it to the live /telemetry/slo
+// hub. No-op when -serve is off or the report is nil, so producers call
+// it unconditionally after each evaluation.
+func (o *Observer) PublishSLO(rep *telemetry.SLOReport) {
+	if o == nil || o.Server == nil || rep == nil {
+		return
+	}
+	o.Server.SLOHub().Publish(rep.AppendJSON(nil))
 }
 
 // DumpFlight writes the recorder's bundle into the observer's flight

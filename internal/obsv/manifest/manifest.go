@@ -78,6 +78,9 @@ type Run struct {
 	// sample counts, mean/peak channel utilization, the hottest channel,
 	// and latency sketch quantiles.
 	Telemetry *telemetry.Summary `json:"telemetry,omitempty"`
+	// SLO is the per-source latency-SLO evaluation for the run, present
+	// when the command ran with an -slo spec.
+	SLO *telemetry.SLOReport `json:"slo,omitempty"`
 }
 
 // Profiles records where the -profile flag wrote pprof data.

@@ -12,6 +12,8 @@
 //	               Accept: text/event-stream) an SSE stream of snapshots
 //	/telemetry     latest telemetry frame as JSON; with ?stream=sse an SSE
 //	               stream of frames as the sampling collector closes them
+//	/telemetry/slo latest per-source SLO evaluation as JSON; with
+//	               ?stream=sse an SSE stream of reports as rate cells close
 //	/debug/pprof/  the standard runtime profiling endpoints
 //
 // The server reports; it never steers. Nothing reachable over HTTP can
@@ -39,6 +41,7 @@ type Server struct {
 	reg     *obsv.Registry
 	hub     *Hub
 	thub    *RawHub
+	shub    *RawHub
 	mux     *http.ServeMux
 	started time.Time
 
@@ -50,12 +53,13 @@ type Server struct {
 // serves an empty exposition), a fresh progress hub, and a fresh
 // telemetry hub.
 func New(reg *obsv.Registry) *Server {
-	s := &Server{reg: reg, hub: NewHub(), thub: NewRawHub(), mux: http.NewServeMux(), started: time.Now()}
+	s := &Server{reg: reg, hub: NewHub(), thub: NewRawHub(), shub: NewRawHub(), mux: http.NewServeMux(), started: time.Now()}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/progress", s.handleProgress)
 	s.mux.HandleFunc("/telemetry", s.handleTelemetry)
+	s.mux.HandleFunc("/telemetry/slo", s.handleSLO)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -69,6 +73,9 @@ func (s *Server) Hub() *Hub { return s.hub }
 
 // TelemetryHub returns the raw-payload hub feeding /telemetry.
 func (s *Server) TelemetryHub() *RawHub { return s.thub }
+
+// SLOHub returns the raw-payload hub feeding /telemetry/slo.
+func (s *Server) SLOHub() *RawHub { return s.shub }
 
 // Handler returns the server's routing handler, for tests that mount it
 // on an httptest.Server instead of a real listener.
@@ -108,6 +115,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"/healthz       liveness\n"+
 		"/progress      latest progress snapshot (?stream=sse to follow)\n"+
 		"/telemetry     latest telemetry frame (?stream=sse to follow)\n"+
+		"/telemetry/slo latest SLO evaluation (?stream=sse to follow)\n"+
 		"/debug/pprof/  runtime profiles\n")
 }
 

@@ -68,11 +68,23 @@ func (h *RawHub) Subscribe() (<-chan []byte, func()) {
 // /telemetry sibling of /progress, fed by the sampling collector instead
 // of the progress hub.
 func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	serveRawHub(s.thub, w, r)
+}
+
+// handleSLO serves the latest per-source SLO evaluation as JSON (or an
+// SSE stream of reports), fed by the loadtest engine as rate cells close.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	serveRawHub(s.shub, w, r)
+}
+
+// serveRawHub is the shared raw-payload endpoint: latest JSON payload,
+// or an SSE stream with ?stream=sse / Accept: text/event-stream.
+func serveRawHub(h *RawHub, w http.ResponseWriter, r *http.Request) {
 	stream := r.URL.Query().Get("stream") == "sse" ||
 		strings.Contains(r.Header.Get("Accept"), "text/event-stream")
 	if !stream {
 		w.Header().Set("Content-Type", "application/json")
-		if last := s.thub.Latest(); last != nil {
+		if last := h.Latest(); last != nil {
 			w.Write(last)
 			w.Write([]byte("\n"))
 			return
@@ -91,7 +103,7 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Connection", "keep-alive")
 	fl.Flush()
 
-	events, cancel := s.thub.Subscribe()
+	events, cancel := h.Subscribe()
 	defer cancel()
 	for {
 		select {

@@ -9,8 +9,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
-	"strings"
+	"strconv"
 
 	"repro/internal/obsv"
 	"repro/internal/topology"
@@ -21,9 +20,10 @@ import (
 // dump can render the final graph without replaying the trace. Attach it
 // to a simulator (typically fanned out with obsv.Multi next to other
 // sinks) alongside a Collector on the same run; Dump then writes the
-// bundle:
+// bundle (format 2, self-contained for `telemetry replay`):
 //
-//	flight.jsonl  header, retained telemetry frames, retained events
+//	flight.jsonl  header, channel endpoints, wait-for graph state,
+//	              retained telemetry frames, retained events
 //	waitfor.dot   the final wait-for graph, closed cycles in red
 //	heatmap.svg   per-channel congestion (busy+blocked), hottest outlined
 //
@@ -37,17 +37,21 @@ type FlightRecorder struct {
 	events []obsv.Event // ring: events[i%cap] holds event i
 	seen   int          // events observed
 
-	waitCh    []topology.ChannelID // msg -> waited-for channel, None when not waiting
-	waitOwner []int
-	waitSeen  []bool // msg ever appeared in the wait graph
-	heldBy    []int  // channel -> holding message, -1 when free
+	graph     WaitGraph
 	lastCycle int
 	verdict   string // most recent deadlock/livelock/starvation/outcome note
+	slo       []byte // optional SLO report JSON, one bundle line when set
 }
 
 // DefaultEventCap is the event-ring capacity NewFlightRecorder uses when
 // given a non-positive capacity.
 const DefaultEventCap = 4096
+
+// BundleFormat is the flight.jsonl header format version. Version 2
+// added span fields, the channel-endpoint and wait-graph lines (which
+// make a bundle replayable offline), per-frame strides, and the
+// long-horizon window accounting.
+const BundleFormat = 2
 
 // NewFlightRecorder returns a recorder over net retaining the last cap
 // events (DefaultEventCap when cap <= 0). The collector supplies the
@@ -57,21 +61,22 @@ func NewFlightRecorder(net *topology.Network, cap int, c *Collector) *FlightReco
 	if cap <= 0 {
 		cap = DefaultEventCap
 	}
-	heldBy := make([]int, net.NumChannels())
-	for i := range heldBy {
-		heldBy[i] = -1
-	}
 	return &FlightRecorder{
 		net:       net,
 		collector: c,
 		events:    make([]obsv.Event, cap),
-		heldBy:    heldBy,
+		graph:     *NewWaitGraph(net.NumChannels()),
 	}
 }
 
 // Collector returns the telemetry collector feeding the recorder's
 // frames, nil when none was attached.
 func (r *FlightRecorder) Collector() *Collector { return r.collector }
+
+// SetSLO attaches a pre-rendered SLO report (a single JSON object) to
+// the bundle; it is written as its own flight.jsonl line so replay can
+// carry the objectives into its timeline without the sketches.
+func (r *FlightRecorder) SetSLO(report []byte) { r.slo = report }
 
 // Event implements obsv.Tracer.
 func (r *FlightRecorder) Event(e obsv.Event) {
@@ -82,22 +87,13 @@ func (r *FlightRecorder) Event(e obsv.Event) {
 	}
 	switch e.Kind {
 	case obsv.KindAcquire:
-		if int(e.Ch) < len(r.heldBy) {
-			r.heldBy[e.Ch] = e.Msg
-		}
+		r.graph.Acquire(e.Ch, e.Msg)
 	case obsv.KindRelease:
-		if int(e.Ch) < len(r.heldBy) {
-			r.heldBy[e.Ch] = -1
-		}
+		r.graph.Release(e.Ch)
 	case obsv.KindWaitEdgeAdd:
-		r.ensureWait(max(e.Msg, e.Owner))
-		r.waitCh[e.Msg] = e.Ch
-		r.waitOwner[e.Msg] = e.Owner
-		r.waitSeen[e.Msg] = true
-		r.waitSeen[e.Owner] = true
+		r.graph.AddEdge(e.Msg, e.Ch, e.Owner)
 	case obsv.KindWaitEdgeDel:
-		r.ensureWait(e.Msg)
-		r.waitCh[e.Msg] = topology.None
+		r.graph.DelEdge(e.Msg)
 	case obsv.KindDeadlock:
 		r.verdict = "deadlock"
 	case obsv.KindLocalDeadlock:
@@ -113,14 +109,6 @@ func (r *FlightRecorder) Event(e obsv.Event) {
 	}
 }
 
-func (r *FlightRecorder) ensureWait(id int) {
-	for len(r.waitCh) <= id {
-		r.waitCh = append(r.waitCh, topology.None)
-		r.waitOwner = append(r.waitOwner, -1)
-		r.waitSeen = append(r.waitSeen, false)
-	}
-}
-
 // Retained returns how many events the ring currently holds.
 func (r *FlightRecorder) Retained() int { return min(r.seen, len(r.events)) }
 
@@ -128,63 +116,26 @@ func (r *FlightRecorder) Retained() int { return min(r.seen, len(r.events)) }
 // carried ("" when the run looked healthy).
 func (r *FlightRecorder) Verdict() string { return r.verdict }
 
-// cycleMembers returns the messages on closed wait-for cycles. The
-// relation is functional (one outgoing edge per blocked message), so a
-// pointer chase from every waiting node suffices — same algorithm as
-// obsv.DOTSink.
-func (r *FlightRecorder) cycleMembers() map[int]bool {
-	members := map[int]bool{}
-	for start := range r.waitCh {
-		if r.waitCh[start] == topology.None {
-			continue
-		}
-		visited := map[int]bool{}
-		at, ok := start, true
-		for ok && !visited[at] {
-			visited[at] = true
-			if at >= len(r.waitCh) || r.waitCh[at] == topology.None {
-				ok = false
-			} else {
-				at = r.waitOwner[at]
-			}
-		}
-		if ok && visited[at] {
-			for c := at; ; {
-				members[c] = true
-				c = r.waitOwner[c]
-				if c == at {
-					break
-				}
-			}
-		}
-	}
-	return members
+// Graph returns the recorder's live wait-for graph.
+func (r *FlightRecorder) Graph() *WaitGraph { return &r.graph }
+
+// CycleChannels returns the channel set of closed wait-for cycles.
+func (r *FlightRecorder) CycleChannels() []topology.ChannelID {
+	return r.graph.CycleChannels()
 }
 
-// CycleChannels returns the channel set of closed wait-for cycles — the
-// deadlocked resource cycle in channel terms: every channel a cycle
-// member waits for, plus every channel a cycle member holds (its arc).
-// Definition 6's cycle is over messages; the corresponding channel cycle
-// is exactly this held-plus-waited set.
-func (r *FlightRecorder) CycleChannels() []topology.ChannelID {
-	members := r.cycleMembers()
-	set := map[topology.ChannelID]bool{}
-	for m := range members {
-		if r.waitCh[m] != topology.None {
-			set[r.waitCh[m]] = true
+// spanEnd returns the true end of the recorded history: the last event
+// cycle or the last telemetry sample cycle, whichever is later. A dump
+// that fires mid-frame still reports the cycles the partial frame
+// covered.
+func (r *FlightRecorder) spanEnd() int {
+	end := r.lastCycle
+	if r.collector != nil {
+		if s := r.collector.LastSampleCycle(); s > end {
+			end = s
 		}
 	}
-	for ch, holder := range r.heldBy {
-		if holder >= 0 && members[holder] {
-			set[topology.ChannelID(ch)] = true
-		}
-	}
-	chs := make([]topology.ChannelID, 0, len(set))
-	for ch := range set {
-		chs = append(chs, ch)
-	}
-	sort.Slice(chs, func(i, j int) bool { return chs[i] < chs[j] })
-	return chs
+	return end
 }
 
 // Dump writes the flight bundle into dir (created if needed). reason
@@ -206,7 +157,8 @@ func (r *FlightRecorder) Dump(dir, reason string) error {
 	if err := os.WriteFile(filepath.Join(dir, "flight.jsonl"), r.renderJSONL(reason), 0o644); err != nil {
 		return fmt.Errorf("telemetry: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, "waitfor.dot"), r.renderDOT(reason), 0o644); err != nil {
+	dot := r.graph.RenderDOT(fmt.Sprintf("flight wait-for @%d [%s]", r.lastCycle, reason))
+	if err := os.WriteFile(filepath.Join(dir, "waitfor.dot"), dot, 0o644); err != nil {
 		return fmt.Errorf("telemetry: %w", err)
 	}
 	if r.collector != nil {
@@ -217,32 +169,93 @@ func (r *FlightRecorder) Dump(dir, reason string) error {
 	return nil
 }
 
-// renderJSONL builds flight.jsonl: one header object, then the retained
-// telemetry frames oldest-first, then the retained events oldest-first.
-// Every line is deterministic for a deterministic run.
-func (r *FlightRecorder) renderJSONL(reason string) []byte {
-	var b []byte
-	frames := 0
-	if r.collector != nil {
-		frames = min(r.collector.FramesClosed(), r.collector.cfg.Ring)
+// frameSource returns the frames the bundle will carry: the long-horizon
+// window when one is attached (its whole retained history), otherwise
+// the collector's frame ring.
+func (r *FlightRecorder) frameSource() (count int, emit func(func(*Frame))) {
+	c := r.collector
+	if c == nil {
+		return 0, func(func(*Frame)) {}
 	}
-	b = append(b, `{"flight_recorder":true,"reason":`...)
-	b = appendQuoted(b, reason)
-	b = append(b, `,"cycle":`...)
-	b = append(b, fmt.Sprint(r.lastCycle)...)
-	b = append(b, `,"events_seen":`...)
-	b = append(b, fmt.Sprint(r.seen)...)
-	b = append(b, `,"events_retained":`...)
-	b = append(b, fmt.Sprint(r.Retained())...)
-	b = append(b, `,"frames_retained":`...)
-	b = append(b, fmt.Sprint(frames)...)
-	b = append(b, '}', '\n')
-	if r.collector != nil {
-		for _, f := range r.collector.Frames() {
-			b = f.AppendJSON(b)
-			b = append(b, '\n')
+	if w := c.Window(); w != nil {
+		return w.Stats().Frames, w.Frames
+	}
+	ring := c.Frames()
+	return len(ring), func(visit func(*Frame)) {
+		for _, f := range ring {
+			visit(f)
 		}
 	}
+}
+
+// renderJSONL builds flight.jsonl: one header object, one channel-
+// endpoint line, one wait-graph line, then the retained telemetry frames
+// oldest-first and the retained events oldest-first. Every line is
+// deterministic for a deterministic run.
+func (r *FlightRecorder) renderJSONL(reason string) []byte {
+	var b []byte
+	frames, emit := r.frameSource()
+	spanStart := 0
+	gotStart := false
+	emit(func(f *Frame) {
+		if !gotStart {
+			spanStart = f.Start
+			gotStart = true
+		}
+	})
+	b = append(b, `{"flight_recorder":true,"format":`...)
+	b = strconv.AppendInt(b, BundleFormat, 10)
+	b = append(b, `,"reason":`...)
+	b = appendQuoted(b, reason)
+	b = append(b, `,"cycle":`...)
+	b = strconv.AppendInt(b, int64(r.lastCycle), 10)
+	b = append(b, `,"span_start":`...)
+	b = strconv.AppendInt(b, int64(spanStart), 10)
+	b = append(b, `,"span_end":`...)
+	b = strconv.AppendInt(b, int64(r.spanEnd()), 10)
+	b = append(b, `,"events_seen":`...)
+	b = strconv.AppendInt(b, int64(r.seen), 10)
+	b = append(b, `,"events_retained":`...)
+	b = strconv.AppendInt(b, int64(r.Retained()), 10)
+	b = append(b, `,"frames_retained":`...)
+	b = strconv.AppendInt(b, int64(frames), 10)
+	if r.collector != nil {
+		if w := r.collector.Window(); w != nil {
+			b = append(b, `,"window":`...)
+			b = w.Stats().AppendJSON(b)
+		}
+	}
+	b = append(b, '}', '\n')
+
+	// Channel endpoints: what replay needs to label heatmap rows.
+	b = append(b, `{"channels":[`...)
+	for ch := 0; ch < r.net.NumChannels(); ch++ {
+		if ch > 0 {
+			b = append(b, ',')
+		}
+		c := r.net.Channel(topology.ChannelID(ch))
+		b = append(b, '[')
+		b = strconv.AppendInt(b, int64(c.Src), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(c.Dst), 10)
+		b = append(b, ']')
+	}
+	b = append(b, `]}`...)
+	b = append(b, '\n')
+
+	b = r.graph.AppendJSON(b)
+	b = append(b, '\n')
+
+	if r.slo != nil {
+		b = append(b, `{"slo":`...)
+		b = append(b, r.slo...)
+		b = append(b, '}', '\n')
+	}
+
+	emit(func(f *Frame) {
+		b = f.AppendJSON(b)
+		b = append(b, '\n')
+	})
 	first := r.seen - r.Retained()
 	for i := first; i < r.seen; i++ {
 		b = r.events[i%len(r.events)].AppendJSON(b)
@@ -251,117 +264,98 @@ func (r *FlightRecorder) renderJSONL(reason string) []byte {
 	return b
 }
 
-// renderDOT renders the final wait-for graph, closed cycles red — the
-// same conventions as obsv.DOTSink, so the artifact diffs cleanly against
-// a full DOT trace's last snapshot.
-func (r *FlightRecorder) renderDOT(reason string) []byte {
-	var b strings.Builder
-	fmt.Fprintf(&b, "digraph %q {\n", fmt.Sprintf("flight wait-for @%d [%s]", r.lastCycle, reason))
-	b.WriteString("  rankdir=LR;\n")
-	inCycle := r.cycleMembers()
-	var ids []int
-	for id, seen := range r.waitSeen {
-		if seen {
-			ids = append(ids, id)
-		}
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		attrs := ""
-		if inCycle[id] {
-			attrs = " color=red style=bold"
-		}
-		fmt.Fprintf(&b, "  m%d [label=\"m%d\"%s];\n", id, id, attrs)
-	}
-	for _, id := range ids {
-		if r.waitCh[id] == topology.None {
+// AppendJSON appends the graph's full state as one deterministic JSON
+// object — the bundle line that lets replay rebuild the wait-for graph
+// without the event stream.
+func (g *WaitGraph) AppendJSON(b []byte) []byte {
+	b = append(b, `{"waitgraph":true,"seen":[`...)
+	first := true
+	for id, seen := range g.WaitSeen {
+		if !seen {
 			continue
 		}
-		attrs := ""
-		if inCycle[id] && inCycle[r.waitOwner[id]] {
-			attrs = " color=red style=bold"
+		if !first {
+			b = append(b, ',')
 		}
-		fmt.Fprintf(&b, "  m%d -> m%d [label=\"c%d\"%s];\n", id, r.waitOwner[id], r.waitCh[id], attrs)
+		first = false
+		b = strconv.AppendInt(b, int64(id), 10)
 	}
-	b.WriteString("}\n")
-	return []byte(b.String())
+	b = append(b, `],"edges":[`...)
+	first = true
+	for id := range g.WaitCh {
+		if g.WaitCh[id] == topology.None {
+			continue
+		}
+		if !first {
+			b = append(b, ',')
+		}
+		first = false
+		b = append(b, '[')
+		b = strconv.AppendInt(b, int64(id), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(g.WaitCh[id]), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(g.WaitOwner[id]), 10)
+		b = append(b, ']')
+	}
+	b = append(b, `],"held":[`...)
+	first = true
+	for ch, holder := range g.HeldBy {
+		if holder < 0 {
+			continue
+		}
+		if !first {
+			b = append(b, ',')
+		}
+		first = false
+		b = append(b, '[')
+		b = strconv.AppendInt(b, int64(ch), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(holder), 10)
+		b = append(b, ']')
+	}
+	b = append(b, `]}`...)
+	return b
 }
 
-// heatmapRows bounds the heatmap to the hottest channels so the artifact
-// stays readable on large networks; a footer reports what was cut.
-const heatmapRows = 64
+// AppendJSON appends the window accounting as one deterministic JSON
+// object (the bundle header's "window" value).
+func (s WindowStats) AppendJSON(b []byte) []byte {
+	b = append(b, `{"budget_bytes":`...)
+	b = strconv.AppendInt(b, int64(s.Budget), 10)
+	b = append(b, `,"bytes":`...)
+	b = strconv.AppendInt(b, int64(s.Bytes), 10)
+	b = append(b, `,"frames":`...)
+	b = strconv.AppendInt(b, int64(s.Frames), 10)
+	b = append(b, `,"dropped_frames":`...)
+	b = strconv.AppendInt(b, int64(s.Dropped), 10)
+	b = append(b, `,"raw_bytes":`...)
+	b = strconv.AppendInt(b, s.Raw, 10)
+	b = append(b, `,"span_start":`...)
+	b = strconv.AppendInt(b, int64(s.SpanStart), 10)
+	b = append(b, `,"span_end":`...)
+	b = strconv.AppendInt(b, int64(s.SpanEnd), 10)
+	b = append(b, `,"compression_x100":`...)
+	b = strconv.AppendInt(b, s.CompressionX100, 10)
+	b = append(b, `,"history_x100":`...)
+	b = strconv.AppendInt(b, s.HistoryX100, 10)
+	b = append(b, '}')
+	return b
+}
 
-// renderHeatmap renders per-channel congestion (busy+blocked samples over
-// the whole run) as a deterministic SVG bar chart, hottest first. Bars
-// shade from green (cool) to red (hot); channels on a closed wait-for
-// cycle are bordered red, and the single hottest channel black.
+// renderHeatmap collects run-total heat from the collector and renders
+// the shared heatmap.
 func (r *FlightRecorder) renderHeatmap(reason string) []byte {
 	c := r.collector
-	type row struct {
-		ch   int
-		heat uint64
+	heat := make([]uint64, c.channels)
+	for ch := range heat {
+		heat[ch] = c.Heat(ch)
 	}
-	rows := make([]row, 0, c.channels)
-	var maxHeat uint64
-	for ch := 0; ch < c.channels; ch++ {
-		h := c.Heat(ch)
-		if h > 0 {
-			rows = append(rows, row{ch, h})
-			if h > maxHeat {
-				maxHeat = h
-			}
-		}
+	ends := func(ch int) (int, int) {
+		cc := r.net.Channel(topology.ChannelID(ch))
+		return int(cc.Src), int(cc.Dst)
 	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].heat != rows[j].heat {
-			return rows[i].heat > rows[j].heat
-		}
-		return rows[i].ch < rows[j].ch
-	})
-	cut := 0
-	if len(rows) > heatmapRows {
-		cut = len(rows) - heatmapRows
-		rows = rows[:heatmapRows]
-	}
-	onCycle := map[topology.ChannelID]bool{}
-	for _, ch := range r.CycleChannels() {
-		onCycle[ch] = true
-	}
-
-	const rowH, labelW, barW = 18, 150, 500
-	width := labelW + barW + 20
-	height := (len(rows)+2)*rowH + 30
-	var b strings.Builder
-	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="12">`+"\n", width, height)
-	fmt.Fprintf(&b, `<text x="10" y="18">channel congestion (busy+blocked samples) — %s @%d</text>`+"\n", reason, r.lastCycle)
-	y := 30
-	for i, row := range rows {
-		frac := float64(row.heat) / float64(maxHeat)
-		w := int(frac * barW)
-		if w < 1 {
-			w = 1
-		}
-		// Green-to-red ramp by integer interpolation, deterministic.
-		red := int(255 * frac)
-		green := 255 - red
-		stroke := "none"
-		if onCycle[topology.ChannelID(row.ch)] {
-			stroke = "red"
-		}
-		if i == 0 {
-			stroke = "black"
-		}
-		ch := r.net.Channel(topology.ChannelID(row.ch))
-		fmt.Fprintf(&b, `<text x="10" y="%d">c%d %d→%d</text>`+"\n", y+13, row.ch, ch.Src, ch.Dst)
-		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="rgb(%d,%d,0)" stroke="%s"/>`+"\n", labelW, y+2, w, rowH-4, red, green, stroke)
-		fmt.Fprintf(&b, `<text x="%d" y="%d">%d</text>`+"\n", labelW+w+5, y+13, row.heat)
-		y += rowH
-	}
-	if cut > 0 {
-		fmt.Fprintf(&b, `<text x="10" y="%d">(%d cooler channels omitted)</text>`+"\n", y+13, cut)
-	}
-	b.WriteString("</svg>\n")
-	return []byte(b.String())
+	return RenderHeatmap(reason, r.lastCycle, heat, ends, r.graph.CycleChannels())
 }
 
 // appendQuoted appends s as a JSON string (telemetry strings are plain

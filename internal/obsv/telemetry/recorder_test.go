@@ -31,12 +31,16 @@ func TestRecorderEventRing(t *testing.T) {
 	if !bytes.Contains(jsonl, []byte(`"events_seen":10`)) || !bytes.Contains(jsonl, []byte(`"events_retained":4`)) {
 		t.Fatalf("header miscounts events:\n%s", jsonl)
 	}
-	// Retained events are the newest four, oldest first.
+	// Retained events are the newest four, oldest first, after the
+	// header, channel-endpoint, and wait-graph lines.
 	lines := strings.Split(strings.TrimRight(string(jsonl), "\n"), "\n")
-	if len(lines) != 5 { // header + 4 events, no collector => no frames
-		t.Fatalf("got %d lines, want 5:\n%s", len(lines), jsonl)
+	if len(lines) != 7 { // header + channels + waitgraph + 4 events
+		t.Fatalf("got %d lines, want 7:\n%s", len(lines), jsonl)
 	}
-	if !strings.Contains(lines[1], `"cycle":6`) || !strings.Contains(lines[4], `"cycle":9`) {
+	if !strings.Contains(lines[1], `"channels":[`) || !strings.Contains(lines[2], `"waitgraph":true`) {
+		t.Fatalf("replay lines missing:\n%s", jsonl)
+	}
+	if !strings.Contains(lines[3], `"cycle":6`) || !strings.Contains(lines[6], `"cycle":9`) {
 		t.Fatalf("event window wrong:\n%s", jsonl)
 	}
 }
@@ -55,7 +59,7 @@ func TestRecorderCycleDetection(t *testing.T) {
 	waitAdd(r, 12, 4, 3, 0)
 	r.Event(obsv.Event{Kind: obsv.KindWaitEdgeDel, Cycle: 13, Msg: 4})
 
-	members := r.cycleMembers()
+	members := r.Graph().CycleMembers()
 	for _, m := range []int{0, 1, 2} {
 		if !members[m] {
 			t.Fatalf("m%d missing from cycle: %v", m, members)
@@ -69,7 +73,7 @@ func TestRecorderCycleDetection(t *testing.T) {
 		t.Fatalf("CycleChannels = %v, want [0 1 2]", chs)
 	}
 
-	dot := string(r.renderDOT("deadlock"))
+	dot := string(r.Graph().RenderDOT("flight wait-for @13 [deadlock]"))
 	if !strings.Contains(dot, `m0 -> m1 [label="c1" color=red style=bold]`) {
 		t.Fatalf("cycle edge not red:\n%s", dot)
 	}
@@ -164,5 +168,80 @@ func TestRecorderDumpBundle(t *testing.T) {
 		if !bytes.Equal(a, b) {
 			t.Fatalf("%s not deterministic", name)
 		}
+	}
+}
+
+// TestRecorderPartialFrameSpan: a dump that fires mid-frame must record
+// the true cycle span — the flushed partial frame ends at the last
+// sampled cycle, and the header's span_end covers telemetry samples
+// taken after the last event, not just the frame-boundary or event
+// cycle.
+func TestRecorderPartialFrameSpan(t *testing.T) {
+	g := topology.NewMesh([]int{2, 2}, 1)
+	c := NewCollector(g.Network.NumChannels(), Config{Stride: 10, FrameEvery: 8, Ring: 4})
+	r := NewFlightRecorder(g.Network, 8, c)
+	// One early event at cycle 3, then telemetry keeps sampling far past
+	// it: 5 samples at cycles 0..40 — frame 0 never closes on its own
+	// (FrameEvery 8).
+	r.Event(obsv.Event{Kind: obsv.KindInject, Cycle: 3, Msg: 0})
+	for i := 0; i <= 4; i++ {
+		fillSample(c, i*10, []int{0}, nil, int64(i), 1)
+	}
+	if c.LastSampleCycle() != 40 {
+		t.Fatalf("LastSampleCycle = %d, want 40", c.LastSampleCycle())
+	}
+
+	dir := t.TempDir()
+	if err := r.Dump(dir, "requested"); err != nil {
+		t.Fatal(err)
+	}
+	jsonl, err := os.ReadFile(filepath.Join(dir, "flight.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := string(jsonl[:bytes.IndexByte(jsonl, '\n')])
+	// The event cycle stays what it was; the span covers the samples.
+	if !strings.Contains(head, `"cycle":3`) || !strings.Contains(head, `"span_end":40`) {
+		t.Fatalf("header span does not reflect the mid-frame dump: %s", head)
+	}
+	// The flushed partial frame must end at the last sampled cycle, not
+	// a frame boundary.
+	if !bytes.Contains(jsonl, []byte(`"frame":0,"start":0,"end":40,"samples":5`)) {
+		t.Fatalf("partial frame span wrong:\n%s", jsonl)
+	}
+}
+
+// TestRecorderHeatmapGolden pins heatmap.svg byte-for-byte against a
+// committed golden so the renderer can be refactored safely: the fixture
+// exercises the hottest-channel black outline, the cycle red-border, and
+// the green-to-red ramp.
+func TestRecorderHeatmapGolden(t *testing.T) {
+	g := topology.NewMesh([]int{2, 2}, 1)
+	c := NewCollector(g.Network.NumChannels(), Config{Stride: 2, FrameEvery: 2, Ring: 4})
+	fillSample(c, 0, []int{0, 1}, []int{2}, 3, 2)
+	fillSample(c, 2, []int{0}, []int{2}, 6, 2)
+	fillSample(c, 4, []int{0, 3}, nil, 9, 1)
+	r := NewFlightRecorder(g.Network, 8, c)
+	waitAdd(r, 3, 0, 1, 1)
+	waitAdd(r, 3, 1, 2, 0)
+	r.Event(obsv.Event{Kind: obsv.KindDeadlock, Cycle: 4, N: 2})
+	c.Flush()
+	got := r.renderHeatmap("deadlock")
+
+	golden := filepath.Join("testdata", "heatmap_golden.svg")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("heatmap.svg diverged from golden:\n--- got\n%s\n--- want\n%s", got, want)
 	}
 }

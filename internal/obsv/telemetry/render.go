@@ -1,0 +1,250 @@
+// Shared post-mortem renderers: the wait-for graph model and the
+// congestion heatmap, used both by the live FlightRecorder at dump time
+// and by `telemetry replay` when re-rendering a bundle offline. Keeping
+// one implementation is what makes the replayed artifacts byte-identical
+// to the originals.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// WaitGraph is the incrementally-maintained wait-for state: one outgoing
+// edge per blocked message (the relation is functional, Definition 6's
+// "waits for") plus the channel→holder map. The FlightRecorder feeds it
+// from live events; replay reconstructs it from the bundle's waitgraph
+// line.
+type WaitGraph struct {
+	WaitCh    []topology.ChannelID // msg -> waited-for channel, None when not waiting
+	WaitOwner []int                // msg -> holder of that channel
+	WaitSeen  []bool               // msg ever appeared in the wait graph
+	HeldBy    []int                // channel -> holding message, -1 when free
+}
+
+// NewWaitGraph returns an empty graph over the given channel count.
+func NewWaitGraph(channels int) *WaitGraph {
+	heldBy := make([]int, channels)
+	for i := range heldBy {
+		heldBy[i] = -1
+	}
+	return &WaitGraph{HeldBy: heldBy}
+}
+
+func (g *WaitGraph) ensure(id int) {
+	for len(g.WaitCh) <= id {
+		g.WaitCh = append(g.WaitCh, topology.None)
+		g.WaitOwner = append(g.WaitOwner, -1)
+		g.WaitSeen = append(g.WaitSeen, false)
+	}
+}
+
+// Acquire records msg holding ch.
+func (g *WaitGraph) Acquire(ch topology.ChannelID, msg int) {
+	if int(ch) < len(g.HeldBy) {
+		g.HeldBy[ch] = msg
+	}
+}
+
+// Release records ch becoming free.
+func (g *WaitGraph) Release(ch topology.ChannelID) {
+	if int(ch) < len(g.HeldBy) {
+		g.HeldBy[ch] = -1
+	}
+}
+
+// AddEdge records msg waiting on ch held by owner.
+func (g *WaitGraph) AddEdge(msg int, ch topology.ChannelID, owner int) {
+	g.ensure(max(msg, owner))
+	g.WaitCh[msg] = ch
+	g.WaitOwner[msg] = owner
+	g.WaitSeen[msg] = true
+	g.WaitSeen[owner] = true
+}
+
+// DelEdge clears msg's outgoing wait edge.
+func (g *WaitGraph) DelEdge(msg int) {
+	g.ensure(msg)
+	g.WaitCh[msg] = topology.None
+}
+
+// CycleMembers returns the messages on closed wait-for cycles. The
+// relation is functional, so a pointer chase from every waiting node
+// suffices — same algorithm as obsv.DOTSink.
+func (g *WaitGraph) CycleMembers() map[int]bool {
+	members := map[int]bool{}
+	for start := range g.WaitCh {
+		if g.WaitCh[start] == topology.None {
+			continue
+		}
+		visited := map[int]bool{}
+		at, ok := start, true
+		for ok && !visited[at] {
+			visited[at] = true
+			if at >= len(g.WaitCh) || g.WaitCh[at] == topology.None {
+				ok = false
+			} else {
+				at = g.WaitOwner[at]
+			}
+		}
+		if ok && visited[at] {
+			for c := at; ; {
+				members[c] = true
+				c = g.WaitOwner[c]
+				if c == at {
+					break
+				}
+			}
+		}
+	}
+	return members
+}
+
+// CycleChannels returns the channel set of closed wait-for cycles — the
+// deadlocked resource cycle in channel terms: every channel a cycle
+// member waits for, plus every channel a cycle member holds (its arc).
+// Definition 6's cycle is over messages; the corresponding channel cycle
+// is exactly this held-plus-waited set.
+func (g *WaitGraph) CycleChannels() []topology.ChannelID {
+	members := g.CycleMembers()
+	set := map[topology.ChannelID]bool{}
+	for m := range members {
+		if g.WaitCh[m] != topology.None {
+			set[g.WaitCh[m]] = true
+		}
+	}
+	for ch, holder := range g.HeldBy {
+		if holder >= 0 && members[holder] {
+			set[topology.ChannelID(ch)] = true
+		}
+	}
+	chs := make([]topology.ChannelID, 0, len(set))
+	for ch := range set {
+		chs = append(chs, ch)
+	}
+	sort.Slice(chs, func(i, j int) bool { return chs[i] < chs[j] })
+	return chs
+}
+
+// RenderDOT renders the graph as a Graphviz digraph with the given
+// title, closed cycles red — the same conventions as obsv.DOTSink, so
+// the artifact diffs cleanly against a full DOT trace's last snapshot.
+func (g *WaitGraph) RenderDOT(title string) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=LR;\n")
+	inCycle := g.CycleMembers()
+	var ids []int
+	for id, seen := range g.WaitSeen {
+		if seen {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		attrs := ""
+		if inCycle[id] {
+			attrs = " color=red style=bold"
+		}
+		fmt.Fprintf(&b, "  m%d [label=\"m%d\"%s];\n", id, id, attrs)
+	}
+	for _, id := range ids {
+		if g.WaitCh[id] == topology.None {
+			continue
+		}
+		attrs := ""
+		if inCycle[id] && inCycle[g.WaitOwner[id]] {
+			attrs = " color=red style=bold"
+		}
+		fmt.Fprintf(&b, "  m%d -> m%d [label=\"c%d\"%s];\n", id, g.WaitOwner[id], g.WaitCh[id], attrs)
+	}
+	b.WriteString("}\n")
+	return []byte(b.String())
+}
+
+// xmlEscaper escapes free text (dump reasons, SLO specs) embedded in
+// SVG text nodes; specs like "p99<=100" would otherwise break XML
+// well-formedness.
+var xmlEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;")
+
+func xmlEscape(s string) string { return xmlEscaper.Replace(s) }
+
+// heatmapRows bounds the heatmap to the hottest channels so the artifact
+// stays readable on large networks; a footer reports what was cut.
+const heatmapRows = 64
+
+// RenderHeatmap renders per-channel congestion (busy+blocked samples,
+// heat[c] for channel c) as a deterministic SVG bar chart, hottest
+// first. Bars shade from green (cool) to red (hot); channels in cycleChs
+// (a closed wait-for cycle) are bordered red, and the single hottest
+// channel black. ends(ch) supplies the channel's endpoint nodes for the
+// row label.
+func RenderHeatmap(reason string, cycle int, heat []uint64, ends func(ch int) (src, dst int), cycleChs []topology.ChannelID) []byte {
+	type row struct {
+		ch   int
+		heat uint64
+	}
+	rows := make([]row, 0, len(heat))
+	var maxHeat uint64
+	for ch, h := range heat {
+		if h > 0 {
+			rows = append(rows, row{ch, h})
+			if h > maxHeat {
+				maxHeat = h
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].heat != rows[j].heat {
+			return rows[i].heat > rows[j].heat
+		}
+		return rows[i].ch < rows[j].ch
+	})
+	cut := 0
+	if len(rows) > heatmapRows {
+		cut = len(rows) - heatmapRows
+		rows = rows[:heatmapRows]
+	}
+	onCycle := map[topology.ChannelID]bool{}
+	for _, ch := range cycleChs {
+		onCycle[ch] = true
+	}
+
+	const rowH, labelW, barW = 18, 150, 500
+	width := labelW + barW + 20
+	height := (len(rows)+2)*rowH + 30
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="12">`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="10" y="18">channel congestion (busy+blocked samples) — %s @%d</text>`+"\n", xmlEscape(reason), cycle)
+	y := 30
+	for i, row := range rows {
+		frac := float64(row.heat) / float64(maxHeat)
+		w := int(frac * barW)
+		if w < 1 {
+			w = 1
+		}
+		// Green-to-red ramp by integer interpolation, deterministic.
+		red := int(255 * frac)
+		green := 255 - red
+		stroke := "none"
+		if onCycle[topology.ChannelID(row.ch)] {
+			stroke = "red"
+		}
+		if i == 0 {
+			stroke = "black"
+		}
+		src, dst := ends(row.ch)
+		fmt.Fprintf(&b, `<text x="10" y="%d">c%d %d→%d</text>`+"\n", y+13, row.ch, src, dst)
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="rgb(%d,%d,0)" stroke="%s"/>`+"\n", labelW, y+2, w, rowH-4, red, green, stroke)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%d</text>`+"\n", labelW+w+5, y+13, row.heat)
+		y += rowH
+	}
+	if cut > 0 {
+		fmt.Fprintf(&b, `<text x="10" y="%d">(%d cooler channels omitted)</text>`+"\n", y+13, cut)
+	}
+	b.WriteString("</svg>\n")
+	return []byte(b.String())
+}

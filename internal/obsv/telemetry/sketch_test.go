@@ -174,3 +174,125 @@ func TestSketchEdgeCases(t *testing.T) {
 		t.Fatal("AddN with n<=0 must be a no-op")
 	}
 }
+
+// TestSketchMergeEmpty: empty⊕empty stays empty, and empty merges are
+// identity in both directions.
+func TestSketchMergeEmpty(t *testing.T) {
+	a, b := NewSketch(), NewSketch()
+	a.Merge(b)
+	if a.Count() != 0 || a.Sum() != 0 || a.Max() != 0 || a.Min() != 0 {
+		t.Fatalf("empty+empty not empty: %+v", a)
+	}
+	if !bytes.Equal(a.AppendJSON(nil), NewSketch().AppendJSON(nil)) {
+		t.Fatal("empty+empty renders differently from empty")
+	}
+	// empty ⊕ loaded == loaded; loaded ⊕ empty == loaded.
+	load := func() *Sketch {
+		s := NewSketch()
+		for i := 1; i <= 100; i++ {
+			s.Add(i * 977)
+		}
+		return s
+	}
+	want := load().AppendJSON(nil)
+	le := load()
+	le.Merge(NewSketch())
+	if !bytes.Equal(le.AppendJSON(nil), want) {
+		t.Fatal("loaded+empty changed the sketch")
+	}
+	el := NewSketch()
+	el.Merge(load())
+	if !bytes.Equal(el.AppendJSON(nil), want) {
+		t.Fatal("empty+loaded != loaded")
+	}
+}
+
+// TestSketchMergeDisjointOctaves: merging sketches whose samples occupy
+// disjoint log octaves must preserve per-octave counts and min/max.
+func TestSketchMergeDisjointOctaves(t *testing.T) {
+	lo, hi := NewSketch(), NewSketch()
+	// lo: tail octaves 2^17..2^18; hi: octaves 2^40..2^41 — no overlap.
+	for i := 0; i < 500; i++ {
+		lo.Add(1<<17 + i*131)
+		hi.Add(1<<40 + i*1_000_003)
+	}
+	m := NewSketch()
+	m.Merge(lo)
+	m.Merge(hi)
+	if m.Count() != 1000 {
+		t.Fatalf("count %d, want 1000", m.Count())
+	}
+	if m.Sum() != lo.Sum()+hi.Sum() {
+		t.Fatalf("sum %d, want %d", m.Sum(), lo.Sum()+hi.Sum())
+	}
+	if m.Min() != lo.Min() || m.Max() != hi.Max() {
+		t.Fatalf("min/max %d/%d, want %d/%d", m.Min(), m.Max(), lo.Min(), hi.Max())
+	}
+	// The halves are cleanly separated, so p50 must fall in lo's range
+	// and p51 onward in hi's.
+	if q := m.Quantile(50); q < 1<<17 || q >= 1<<19 {
+		t.Fatalf("p50 = %d escaped the low octaves", q)
+	}
+	if q := m.Quantile(90); q < 1<<40 {
+		t.Fatalf("p90 = %d below the high octaves", q)
+	}
+}
+
+// TestSketchMergeLinearBoundary: samples straddling the exact/log-linear
+// boundary at 2^16 survive a merge with exact counts on the linear side.
+func TestSketchMergeLinearBoundary(t *testing.T) {
+	a, b := NewSketch(), NewSketch()
+	vals := []int{sketchLinearMax - 2, sketchLinearMax - 1, sketchLinearMax, sketchLinearMax + 1}
+	for _, v := range vals {
+		a.Add(v)
+		b.Add(v)
+	}
+	a.Merge(b)
+	if a.Count() != 8 {
+		t.Fatalf("count %d, want 8", a.Count())
+	}
+	// Below the boundary the sketch is lossless: quantiles landing there
+	// must return the exact values, doubled counts notwithstanding.
+	if q := a.Quantile(25); q != sketchLinearMax-2 {
+		t.Fatalf("p25 = %d, want exact %d", q, sketchLinearMax-2)
+	}
+	if q := a.Quantile(50); q != sketchLinearMax-1 {
+		t.Fatalf("p50 = %d, want exact %d", q, sketchLinearMax-1)
+	}
+	// At and above the boundary values live in log buckets; the answer
+	// may round up within the bucket but never below the true value.
+	if q := a.Quantile(75); q < sketchLinearMax {
+		t.Fatalf("p75 = %d, below the boundary value %d", q, sketchLinearMax)
+	}
+	if a.Max() != sketchLinearMax+1 {
+		t.Fatalf("max %d, want %d", a.Max(), sketchLinearMax+1)
+	}
+}
+
+// TestSketchMergeQuantileMonotonic: quantiles of a merged sketch are
+// monotone in p, and each merged quantile is bracketed by the two input
+// sketches' quantiles at that p (merging cannot extrapolate).
+func TestSketchMergeQuantileMonotonic(t *testing.T) {
+	a, b := NewSketch(), NewSketch()
+	for i := 0; i < 3000; i++ {
+		a.Add(i * 37 % 50_000)     // linear-range mass
+		b.Add(1 << 20 * (i%5 + 1)) // tail mass
+		b.Add(i % 100)             // plus a low spike
+	}
+	m := NewSketch()
+	m.Merge(a)
+	m.Merge(b)
+	prev := -1
+	for p := 1; p <= 100; p++ {
+		q := m.Quantile(p)
+		if q < prev {
+			t.Fatalf("quantile not monotone: p%d=%d < p%d=%d", p, q, p-1, prev)
+		}
+		prev = q
+		// The merged quantile must lie within the envelope of the inputs'
+		// full ranges, a safe bracketing for any mixture.
+		if q < min(a.Quantile(1), b.Quantile(1)) || q > max(a.Max(), b.Max()) {
+			t.Fatalf("p%d = %d outside the merged inputs' range", p, q)
+		}
+	}
+}

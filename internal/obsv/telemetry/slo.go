@@ -1,0 +1,193 @@
+// Per-source latency SLOs: a bank of mergeable latency sketches keyed by
+// source node, plus a tiny declarative objective language ("p99<=500")
+// evaluated against the bank. The loadtest engine feeds one bank per
+// rate cell and reports violations in its JSON; the serve plane exposes
+// the latest report at /telemetry/slo.
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SLOObjective is one parsed latency objective: the p-th percentile must
+// not exceed Bound cycles.
+type SLOObjective struct {
+	Spec  string // original text, e.g. "p99<=500"
+	P     int    // percentile, 1..100
+	Bound int    // latency bound in cycles
+}
+
+// ParseSLO parses a comma-separated objective list: "p99<=500" or
+// "p50<=120,p99<=800". Percentiles are integers (the sketch quantile
+// granularity); bounds are cycles.
+func ParseSLO(s string) ([]SLOObjective, error) {
+	var objs []SLOObjective
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		rest, ok := strings.CutPrefix(part, "p")
+		if !ok {
+			return nil, fmt.Errorf("telemetry: SLO %q: want pNN<=BOUND", part)
+		}
+		pstr, bstr, ok := strings.Cut(rest, "<=")
+		if !ok {
+			return nil, fmt.Errorf("telemetry: SLO %q: want pNN<=BOUND", part)
+		}
+		p, err := strconv.Atoi(pstr)
+		if err != nil || p < 1 || p > 100 {
+			return nil, fmt.Errorf("telemetry: SLO %q: percentile must be an integer in 1..100", part)
+		}
+		bound, err := strconv.Atoi(bstr)
+		if err != nil || bound < 0 {
+			return nil, fmt.Errorf("telemetry: SLO %q: bound must be a non-negative integer", part)
+		}
+		objs = append(objs, SLOObjective{Spec: part, P: p, Bound: bound})
+	}
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("telemetry: empty SLO spec")
+	}
+	return objs, nil
+}
+
+// Bank holds one latency sketch per source plus the aggregate. Source
+// sketches are allocated lazily on first observation (a sketch costs
+// ~270 KiB, so idle sources stay free); the aggregate always exists.
+// Banks merge source-wise, the same way sketches do.
+type Bank struct {
+	agg *Sketch
+	src []*Sketch
+}
+
+// NewBank returns a bank for the given source-ID space.
+func NewBank(sources int) *Bank {
+	return &Bank{agg: NewSketch(), src: make([]*Sketch, sources)}
+}
+
+// Observe records one latency sample for source (out-of-range sources
+// count only toward the aggregate).
+func (b *Bank) Observe(source, v int) {
+	b.agg.Add(v)
+	if source >= 0 && source < len(b.src) {
+		if b.src[source] == nil {
+			b.src[source] = NewSketch()
+		}
+		b.src[source].Add(v)
+	}
+}
+
+// Aggregate returns the all-sources sketch.
+func (b *Bank) Aggregate() *Sketch { return b.agg }
+
+// Source returns source i's sketch, nil when it never observed a sample.
+func (b *Bank) Source(i int) *Sketch {
+	if i < 0 || i >= len(b.src) {
+		return nil
+	}
+	return b.src[i]
+}
+
+// Sources returns the size of the bank's source-ID space.
+func (b *Bank) Sources() int { return len(b.src) }
+
+// Merge adds another bank's sketches into this one, source-wise. The
+// banks must cover the same source-ID space.
+func (b *Bank) Merge(o *Bank) {
+	b.agg.Merge(o.agg)
+	for i, s := range o.src {
+		if s == nil {
+			continue
+		}
+		if b.src[i] == nil {
+			b.src[i] = NewSketch()
+		}
+		b.src[i].Merge(s)
+	}
+}
+
+// SLOResult is one evaluated objective row. Source -1 is the aggregate.
+type SLOResult struct {
+	Spec     string `json:"spec"`
+	Source   int    `json:"source"`
+	Observed int64  `json:"observed"`
+	Bound    int64  `json:"bound"`
+	Count    int64  `json:"count"`
+	OK       bool   `json:"ok"`
+}
+
+// SLOReport is an evaluation of a bank against an objective list: one
+// aggregate row per objective, plus a per-source row for every source
+// that violates it (passing sources are elided to keep reports bounded
+// on large networks — Violations counts only the rows present).
+type SLOReport struct {
+	Violations int         `json:"violations"`
+	Results    []SLOResult `json:"results"`
+}
+
+// OK reports whether no objective was violated.
+func (r *SLOReport) OK() bool { return r.Violations == 0 }
+
+// Evaluate checks every objective against the aggregate and each active
+// source, in objective order then source order — deterministic for a
+// deterministic bank.
+func (b *Bank) Evaluate(objs []SLOObjective) *SLOReport {
+	rep := &SLOReport{}
+	for _, o := range objs {
+		q := int64(b.agg.Quantile(o.P))
+		ok := q <= int64(o.Bound) || b.agg.Count() == 0
+		rep.Results = append(rep.Results, SLOResult{
+			Spec: o.Spec, Source: -1, Observed: q,
+			Bound: int64(o.Bound), Count: b.agg.Count(), OK: ok,
+		})
+		if !ok {
+			rep.Violations++
+		}
+		for i, s := range b.src {
+			if s == nil || s.Count() == 0 {
+				continue
+			}
+			sq := int64(s.Quantile(o.P))
+			if sq <= int64(o.Bound) {
+				continue
+			}
+			rep.Results = append(rep.Results, SLOResult{
+				Spec: o.Spec, Source: i, Observed: sq,
+				Bound: int64(o.Bound), Count: s.Count(), OK: false,
+			})
+			rep.Violations++
+		}
+	}
+	return rep
+}
+
+// AppendJSON appends the report as one deterministic JSON object with
+// fixed key order (the same bytes encoding/json would need a custom
+// marshaler for).
+func (r *SLOReport) AppendJSON(b []byte) []byte {
+	b = append(b, `{"violations":`...)
+	b = strconv.AppendInt(b, int64(r.Violations), 10)
+	b = append(b, `,"results":[`...)
+	for i, res := range r.Results {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"spec":`...)
+		b = appendQuoted(b, res.Spec)
+		b = append(b, `,"source":`...)
+		b = strconv.AppendInt(b, int64(res.Source), 10)
+		b = append(b, `,"observed":`...)
+		b = strconv.AppendInt(b, res.Observed, 10)
+		b = append(b, `,"bound":`...)
+		b = strconv.AppendInt(b, res.Bound, 10)
+		b = append(b, `,"count":`...)
+		b = strconv.AppendInt(b, res.Count, 10)
+		b = append(b, `,"ok":`...)
+		b = strconv.AppendBool(b, res.OK)
+		b = append(b, '}')
+	}
+	b = append(b, `]}`...)
+	return b
+}

@@ -26,12 +26,29 @@ import "strconv"
 type Config struct {
 	// Stride is the sampling period in cycles: the simulator takes one
 	// telemetry sample on every cycle divisible by Stride. Default 64.
+	// With Adaptive on, Stride is the base (tightest) stride.
 	Stride int
 	// FrameEvery is the number of samples aggregated into one frame.
 	// Default 16 (one frame per 1024 cycles at the default stride).
 	FrameEvery int
 	// Ring is the number of most-recent frames retained. Default 64.
 	Ring int
+	// Adaptive enables stride adaptation: the collector backs the
+	// sampling stride off geometrically (doubling, up to MaxStride) while
+	// the network is quiet — low busy+blocked heat and a stable live
+	// count — and tightens it back toward Stride as utilization
+	// approaches saturation. The stride trajectory is a pure function of
+	// the sampled (logical, deterministic) state, so adapted frame
+	// streams stay byte-identical across runs and worker counts.
+	Adaptive bool
+	// MaxStride caps the adaptive backoff. Default 16×Stride.
+	MaxStride int
+	// WindowBytes, when positive, attaches a delta-compressed long-
+	// horizon Window of the given byte budget: every closed frame is also
+	// appended to the window, which evicts its oldest restart blocks when
+	// over budget — a multi-hour history at fixed memory, instead of (in
+	// addition to) the fixed Ring-frame history.
+	WindowBytes int
 }
 
 func (c Config) withDefaults() Config {
@@ -43,6 +60,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Ring < 1 {
 		c.Ring = 64
+	}
+	if c.MaxStride < c.Stride {
+		c.MaxStride = 16 * c.Stride
 	}
 	return c
 }
@@ -59,6 +79,12 @@ type Frame struct {
 	Start, End int
 	// Samples is the number of telemetry samples aggregated.
 	Samples int
+	// Stride is the sampling stride in effect when the frame closed. For
+	// a fixed-stride collector this is the configured stride; with
+	// adaptive sampling it records the stride trajectory frame by frame,
+	// which is what makes adapted streams self-describing (and lets a
+	// replay reconstruct sample density without the simulation).
+	Stride int
 	// Busy[c] counts the samples at which channel c was held by a message;
 	// Busy[c]/Samples is the channel's utilization over the frame.
 	Busy []uint32
@@ -89,6 +115,8 @@ func (f *Frame) AppendJSON(b []byte) []byte {
 	b = strconv.AppendInt(b, int64(f.End), 10)
 	b = append(b, `,"samples":`...)
 	b = strconv.AppendInt(b, int64(f.Samples), 10)
+	b = append(b, `,"stride":`...)
+	b = strconv.AppendInt(b, int64(f.Stride), 10)
 	b = append(b, `,"flits":`...)
 	b = strconv.AppendInt(b, f.FlitsDelta, 10)
 	b = append(b, `,"live":`...)
@@ -135,6 +163,18 @@ type Collector struct {
 	samples            int
 	frameStart         int
 
+	// Adaptive-stride state. stride is the current sampling period; next
+	// the next sampling cycle (adaptive mode only — fixed mode stays on
+	// the pure now%Stride==0 schedule). The prev* fields hold the
+	// previous sample's accumulator sums and live count, so each sample's
+	// own heat (not the frame's running total) drives the policy.
+	stride         int
+	next           int
+	quietStreak    int
+	prevBusySum    uint64
+	prevBlockedSum uint64
+	prevLive       int
+
 	// Frame ring, preallocated: frames[i%Ring] holds frame i.
 	frames []Frame
 	closed int // frames closed so far
@@ -151,6 +191,11 @@ type Collector struct {
 	lastFlits int64
 	lastLive  int
 	prevFlits int64 // FlitsConsumed at the previous frame boundary
+
+	// window, when configured, receives every closed frame as a
+	// delta-compressed record under a fixed byte budget (long-horizon
+	// history); nil when Config.WindowBytes is zero.
+	window *Window
 
 	// OnFrame, when set, is called with each frame as it closes (the
 	// pointer aliases ring memory — consume it synchronously). It feeds
@@ -174,23 +219,48 @@ func NewCollector(channels int, cfg Config) *Collector {
 		totOcc:     make([]uint64, channels),
 		totBlocked: make([]uint64, channels),
 		lastCycle:  -1,
+		stride:     cfg.Stride,
 	}
 	for i := range c.frames {
 		c.frames[i].Busy = make([]uint32, channels)
 		c.frames[i].Occ = make([]uint32, channels)
 		c.frames[i].Blocked = make([]uint32, channels)
 	}
+	if cfg.WindowBytes > 0 {
+		c.window = NewWindow(channels, cfg.WindowBytes)
+	}
 	return c
 }
 
-// Stride returns the sampling period in cycles.
+// Stride returns the base sampling period in cycles.
 func (c *Collector) Stride() int { return c.cfg.Stride }
+
+// CurrentStride returns the stride currently in effect: the base stride
+// for a fixed collector, the adapted one for an adaptive collector.
+func (c *Collector) CurrentStride() int { return c.stride }
 
 // Channels returns the channel count the collector was sized for.
 func (c *Collector) Channels() int { return c.channels }
 
-// Due reports whether cycle now is a sampling cycle.
-func (c *Collector) Due(now int) bool { return now%c.cfg.Stride == 0 }
+// LastSampleCycle returns the cycle of the most recent finished sample,
+// -1 when nothing was sampled yet.
+func (c *Collector) LastSampleCycle() int { return c.lastCycle }
+
+// Window returns the long-horizon delta window, nil unless
+// Config.WindowBytes was set.
+func (c *Collector) Window() *Window { return c.window }
+
+// Due reports whether cycle now is a sampling cycle. Fixed collectors
+// sample on every cycle divisible by the stride; adaptive collectors
+// sample when the adapted schedule (last sample + current stride)
+// reaches now — both are pure functions of sampled logical state, so
+// sampling schedules are deterministic across runs and worker counts.
+func (c *Collector) Due(now int) bool {
+	if !c.cfg.Adaptive {
+		return now%c.cfg.Stride == 0
+	}
+	return now >= c.next
+}
 
 // Accum returns the current sample's per-channel accumulators for the
 // producer to fill: busy (increment once per held channel), occ (add the
@@ -201,16 +271,78 @@ func (c *Collector) Accum() (busy, occ, blocked []uint32) {
 
 // FinishSample closes the sample taken at cycle now, given the producer's
 // monotone consumed-flit counter and live-message count. It closes a
-// frame every FrameEvery samples.
+// frame every FrameEvery samples and, in adaptive mode, reconsiders the
+// sampling stride. Allocation-free.
 func (c *Collector) FinishSample(now int, flits int64, live int) {
 	if c.samples == 0 {
 		c.frameStart = now
 	}
 	c.samples++
 	c.lastCycle, c.lastFlits, c.lastLive = now, flits, live
+	if c.cfg.Adaptive {
+		c.adapt(live)
+	}
 	if c.samples >= c.cfg.FrameEvery {
 		c.closeFrame()
 	}
+	c.next = now + c.stride
+}
+
+// Adaptive-stride policy thresholds, all integer arithmetic over one
+// sample's own heat so the trajectory is exactly reproducible:
+//
+//   - quiet: no blocked dependency anywhere, busy channels at most 1/16
+//     of the network, live count not growing. quietStreakLen consecutive
+//     quiet samples double the stride (geometric backoff, capped at
+//     MaxStride).
+//   - hot: any blocked dependency, or at least 1/4 of channels busy —
+//     utilization approaching saturation. Each hot sample halves the
+//     stride back toward the base (geometric tightening), so the
+//     collector re-densifies while a congestion tree is still building
+//     rather than after it wedges.
+//
+// Between the two bands the stride holds and the quiet streak resets.
+const (
+	quietStreakLen = 4
+	quietBusyFrac  = 16 // quiet: busyDelta <= channels/16
+	hotBusyFrac    = 4  // hot:   busyDelta >= channels/4
+)
+
+// adapt applies the stride policy after one sample. The accumulators hold
+// frame-running totals, so the sample's own contribution is the delta
+// against the previous sample's sums (reset with the frame).
+func (c *Collector) adapt(live int) {
+	var busySum, blockedSum uint64
+	for i := range c.busy {
+		busySum += uint64(c.busy[i])
+		blockedSum += uint64(c.blocked[i])
+	}
+	busyDelta := busySum - c.prevBusySum
+	blockedDelta := blockedSum - c.prevBlockedSum
+	switch {
+	case blockedDelta > 0 || busyDelta*hotBusyFrac >= uint64(c.channels):
+		c.quietStreak = 0
+		if c.stride > c.cfg.Stride {
+			c.stride /= 2
+			if c.stride < c.cfg.Stride {
+				c.stride = c.cfg.Stride
+			}
+		}
+	case busyDelta*quietBusyFrac <= uint64(c.channels) && live <= c.prevLive:
+		c.quietStreak++
+		if c.quietStreak >= quietStreakLen {
+			c.quietStreak = 0
+			if c.stride < c.cfg.MaxStride {
+				c.stride *= 2
+				if c.stride > c.cfg.MaxStride {
+					c.stride = c.cfg.MaxStride
+				}
+			}
+		}
+	default:
+		c.quietStreak = 0
+	}
+	c.prevBusySum, c.prevBlockedSum, c.prevLive = busySum, blockedSum, live
 }
 
 // Flush closes the current partial frame, if any. Call it at run end so
@@ -225,8 +357,11 @@ func (c *Collector) closeFrame() {
 	f := &c.frames[c.closed%c.cfg.Ring]
 	f.Index = c.closed
 	f.Start = c.frameStart
+	// End is the cycle of the frame's LAST SAMPLE — the true sampled
+	// span, also for partial frames flushed mid-frame by a dump.
 	f.End = c.lastCycle
 	f.Samples = c.samples
+	f.Stride = c.stride
 	f.FlitsDelta = c.lastFlits - c.prevFlits
 	f.Live = c.lastLive
 	copy(f.Busy, c.busy)
@@ -246,8 +381,12 @@ func (c *Collector) closeFrame() {
 	clear(c.busy)
 	clear(c.occ)
 	clear(c.blocked)
+	c.prevBusySum, c.prevBlockedSum = 0, 0
 	c.samples = 0
 	c.closed++
+	if c.window != nil {
+		c.window.Append(f)
+	}
 	if c.OnFrame != nil {
 		c.OnFrame(f)
 	}
@@ -308,6 +447,11 @@ type Summary struct {
 	Stride  int   `json:"stride"`
 	Frames  int   `json:"frames"`
 	Samples int64 `json:"samples"`
+	// Adaptive marks a run sampled under the adaptive-stride policy;
+	// FinalStride is the stride in effect when the run ended (equal to
+	// Stride for fixed collectors, omitted then).
+	Adaptive    bool `json:"adaptive,omitempty"`
+	FinalStride int  `json:"final_stride,omitempty"`
 	// MeanUtil is the run-mean channel utilization averaged over every
 	// channel; PeakUtil is the highest single-frame utilization any
 	// channel reached.
@@ -333,6 +477,10 @@ func (c *Collector) Summary(lat *Sketch) Summary {
 		Frames:         c.closed,
 		Samples:        c.Samples(),
 		HottestChannel: -1,
+	}
+	if c.cfg.Adaptive {
+		s.Adaptive = true
+		s.FinalStride = c.stride
 	}
 	if s.Samples > 0 {
 		var busySum uint64
